@@ -1,0 +1,42 @@
+// Extra (related-work quantification, not a paper figure): what "partial
+// snapshots cannot be obtained" costs.  Small range queries against
+// structures whose snapshots are full-map (the Ctrie analogue) vs. partial
+// (KiWi, SnapTree analogue), across dataset sizes: the full-snapshot
+// structure's per-query cost scales with MAP size instead of RANGE size,
+// which is the reason the paper's related work dismisses it for range
+// queries (§2).
+#include "bench_common.h"
+
+using namespace kiwi;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  bench::DescribeEnvironment(config, "extra_snapshot_cost");
+  const std::uint64_t range = 128;  // small range: worst case for full walks
+  harness::Note("128-key range queries, 1 scan thread + 1 put thread, "
+                "growing dataset: partial-snapshot structures stay flat, "
+                "full-snapshot ones degrade linearly");
+  for (const std::uint64_t size :
+       {config.dataset_size / 10, config.dataset_size,
+        config.dataset_size * 4}) {
+    for (const api::MapKind kind :
+         {api::MapKind::kKiWi, api::MapKind::kSnapTree,
+          api::MapKind::kCtrie}) {
+      auto map = api::MakeMap(kind);
+      std::vector<harness::Role> roles{
+          {"scan", 1, harness::WorkloadSpec::ScanOnly(size * 2, range)},
+          {"put", 1, harness::WorkloadSpec::PutOnly(size * 2)}};
+      harness::DriverOptions options = config.driver;
+      options.initial_size = size;
+      const harness::RunResult result =
+          harness::RunWorkload(*map, roles, options);
+      const double scans_per_sec = result.Role("scan").OpsPerSec();
+      harness::EmitCsv("extra_snapshot_cost", map->Name(),
+                       static_cast<double>(size), scans_per_sec, "scans/s");
+      harness::Note("  " + map->Name() + " dataset=" + std::to_string(size) +
+                    " -> " + std::to_string(scans_per_sec) +
+                    " range-queries/s");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 5: RAM use with parallel scans (32-key ranges) and background
+// puts, 1M-scale dataset.  The paper samples the JVM's memory-in-use right
+// after a full GC; the native analogue drains deferred reclamation
+// (EBR retire lists) and reads each structure's self-reported footprint.
+#include "bench_common.h"
+
+using namespace kiwi;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  bench::DescribeEnvironment(config, "fig5");
+  const std::uint64_t scan_size = bench::EnvOrU64("KIWI_BENCH_SCAN_SIZE", 32);
+  harness::Note("Figure 5: memory footprint, " + std::to_string(scan_size) +
+                "-key scans with background puts");
+  for (const api::MapKind kind : config.maps) {
+    for (const std::uint64_t scan_threads : config.threads) {
+      auto map = api::MakeMap(kind);
+      std::vector<harness::Role> roles{
+          {"scan", scan_threads,
+           harness::WorkloadSpec::ScanOnly(config.KeyRange(), scan_size)},
+          {"put", scan_threads,
+           harness::WorkloadSpec::PutOnly(config.KeyRange())}};
+      harness::DriverOptions options = config.driver;
+      options.initial_size = config.dataset_size;
+      options.measure_memory = true;
+      const harness::RunResult result =
+          harness::RunWorkload(*map, roles, options);
+      const double mb =
+          static_cast<double>(result.memory_bytes) / (1024.0 * 1024.0);
+      harness::EmitCsv("fig5", map->Name(),
+                       static_cast<double>(scan_threads), mb, "MB");
+      harness::Note("  " + map->Name() + " scan_threads=" +
+                    std::to_string(scan_threads) + " -> " +
+                    harness::FormatMb(result.memory_bytes));
+    }
+  }
+  harness::Note("note: footprints are structure-reported live bytes after "
+                "draining deferred reclamation (the paper's post-GC "
+                "JVM metric analogue)");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Single-threaded operation latencies via google-benchmark: put, get, scan
+// for each structure.  Not a paper figure — a regression microbench that
+// keeps the per-op costs honest while the figure benches track shapes.
+#include <benchmark/benchmark.h>
+
+#include "api/map_interface.h"
+#include "common/random.h"
+
+using namespace kiwi;
+
+namespace {
+
+constexpr std::int64_t kPrefill = 20000;
+constexpr std::uint64_t kKeyRange = 2 * kPrefill;
+
+template <api::MapKind kKind>
+void BM_Put(benchmark::State& state) {
+  auto map = api::MakeMap(kKind);
+  Xoshiro256 rng(1);
+  for (std::int64_t i = 0; i < kPrefill; ++i) {
+    map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
+  }
+  for (auto _ : state) {
+    map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), 7);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <api::MapKind kKind>
+void BM_Get(benchmark::State& state) {
+  auto map = api::MakeMap(kKind);
+  Xoshiro256 rng(2);
+  for (std::int64_t i = 0; i < kPrefill; ++i) {
+    map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map->Get(static_cast<Key>(rng.NextBounded(kKeyRange))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <api::MapKind kKind>
+void BM_Scan(benchmark::State& state) {
+  const std::uint64_t range = state.range(0);
+  auto map = api::MakeMap(kKind);
+  Xoshiro256 rng(3);
+  for (std::int64_t i = 0; i < kPrefill; ++i) {
+    map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
+  }
+  std::vector<api::IOrderedMap::Entry> out;
+  std::uint64_t keys = 0;
+  for (auto _ : state) {
+    const Key from = static_cast<Key>(rng.NextBounded(kKeyRange - range));
+    keys += map->Scan(from, from + static_cast<Key>(range) - 1, out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys));
+}
+
+template <api::MapKind kKind>
+void BM_Remove(benchmark::State& state) {
+  auto map = api::MakeMap(kKind);
+  Xoshiro256 rng(4);
+  for (std::int64_t i = 0; i < kPrefill; ++i) {
+    map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
+  }
+  for (auto _ : state) {
+    const Key key = static_cast<Key>(rng.NextBounded(kKeyRange));
+    map->Remove(key);
+    map->Put(key, 1);  // keep the dataset size stable
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+#define KIWI_MICRO(kind)                                             \
+  BENCHMARK(BM_Put<api::MapKind::kind>)->Name("put/" #kind);         \
+  BENCHMARK(BM_Get<api::MapKind::kind>)->Name("get/" #kind);         \
+  BENCHMARK(BM_Remove<api::MapKind::kind>)->Name("remove/" #kind);   \
+  BENCHMARK(BM_Scan<api::MapKind::kind>)                             \
+      ->Name("scan/" #kind)                                          \
+      ->Arg(64)                                                      \
+      ->Arg(4096)
+
+KIWI_MICRO(kKiWi);
+KIWI_MICRO(kSkipList);
+KIWI_MICRO(kKaryTree);
+KIWI_MICRO(kSnapTree);
+
+BENCHMARK_MAIN();

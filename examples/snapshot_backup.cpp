@@ -1,0 +1,91 @@
+// Consistent online backup — showcases the Snapshot view extension: a
+// backup thread dumps the entire map at one read point, in several separate
+// range reads with pauses in between, while writers keep mutating.  The
+// dump is verified to be internally consistent (one linearization point)
+// and the writers are verified to have run meanwhile (the backup blocked
+// nobody).
+//
+//   $ ./build/examples/snapshot_backup
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kiwi_map.h"
+
+using kiwi::Key;
+using kiwi::Value;
+using kiwi::Xoshiro256;
+using kiwi::core::KiWiMap;
+
+namespace {
+constexpr Key kKeys = 100'000;
+constexpr Key kShards = 10;  // backup in 10 separate range reads
+}  // namespace
+
+int main() {
+  KiWiMap map;
+  // Every key starts at generation 0; writers bump whole-map generations in
+  // ascending key order, so any consistent cut shows at most two adjacent
+  // generations (prefix g, suffix g-1).
+  for (Key k = 0; k < kKeys; ++k) map.Put(k, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> writes{0};
+  std::thread writer([&] {
+    for (Value generation = 1; !stop.load(std::memory_order_acquire);
+         ++generation) {
+      for (Key k = 0; k < kKeys; ++k) {
+        map.Put(k, generation);
+        writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Wait for some churn, then back up shard by shard at ONE read point.
+  while (writes.load(std::memory_order_relaxed) < kKeys / 2) {
+    std::this_thread::yield();
+  }
+  std::vector<KiWiMap::Entry> backup;
+  backup.reserve(kKeys);
+  const std::uint64_t writes_before = writes.load();
+  {
+    KiWiMap::Snapshot snapshot(map);
+    for (Key shard = 0; shard < kShards; ++shard) {
+      const Key from = shard * (kKeys / kShards);
+      const Key to = from + kKeys / kShards - 1;
+      snapshot.Scan(from, to,
+                    [&](Key k, Value v) { backup.emplace_back(k, v); });
+      // Dawdle between shards — real backups write to disk here.
+      std::this_thread::yield();
+    }
+    std::printf("backup of %zu keys at read point %llu (in %lld shards)\n",
+                backup.size(),
+                static_cast<unsigned long long>(snapshot.ReadPoint()),
+                static_cast<long long>(kShards));
+  }
+  const std::uint64_t writes_during = writes.load() - writes_before;
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  // Verify: complete, ordered, and cut at a single linearization point.
+  bool consistent = backup.size() == static_cast<std::size_t>(kKeys);
+  Value previous = consistent ? backup.front().second : 0;
+  for (std::size_t i = 0; consistent && i < backup.size(); ++i) {
+    if (backup[i].first != static_cast<Key>(i)) consistent = false;
+    if (backup[i].second > previous) consistent = false;  // generation rose
+    previous = backup[i].second;
+  }
+  if (consistent && !backup.empty()) {
+    consistent = backup.front().second - backup.back().second <= 1;
+  }
+  std::printf("writer made %llu puts during the backup — %s\n",
+              static_cast<unsigned long long>(writes_during),
+              writes_during > 0 ? "backup blocked nothing"
+                                : "(writer got no cpu time)");
+  std::printf("backup consistency: %s\n",
+              consistent ? "OK — single linearization point across shards"
+                         : "FAILED");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Render the benches' CSV rows as ASCII charts.
+
+Every bench binary prints machine-readable rows of the form
+
+    csv,<figure>,<series>,<x>,<y>,<unit>
+
+alongside its human-readable notes.  This script groups them by figure and
+draws one horizontal-bar chart per figure, so a full sweep can be eyeballed
+without any plotting stack:
+
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 scripts/render_results.py bench_output.txt
+
+Pure standard library; no dependencies.
+"""
+import sys
+from collections import defaultdict
+
+
+BAR_WIDTH = 44
+
+
+def parse(lines):
+    """figure -> series -> list of (x, y); plus figure -> unit."""
+    figures = defaultdict(lambda: defaultdict(list))
+    units = {}
+    for line in lines:
+        line = line.strip()
+        if not line.startswith("csv,"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 6:
+            continue
+        _, figure, series, x_text, y_text, unit = parts
+        try:
+            x_value = float(x_text)
+            y_value = float(y_text)
+        except ValueError:
+            continue
+        figures[figure][series].append((x_value, y_value))
+        units[figure] = unit
+    return figures, units
+
+
+def format_x(x_value):
+    if x_value == int(x_value):
+        value = int(x_value)
+        if value >= 1024 and value % 1024 == 0:
+            return f"{value // 1024}K"
+        return str(value)
+    return f"{x_value:g}"
+
+
+def render_figure(name, series_map, unit):
+    print(f"\n=== {name}  [{unit}] ===")
+    peak = max(
+        (y for points in series_map.values() for _, y in points), default=0.0
+    )
+    if peak <= 0:
+        peak = 1.0
+    for series in sorted(series_map):
+        points = sorted(series_map[series])
+        print(f"  {series}")
+        for x_value, y_value in points:
+            bar = "#" * max(1, int(BAR_WIDTH * y_value / peak))
+            print(f"    {format_x(x_value):>8} | {bar:<{BAR_WIDTH}} {y_value:g}")
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    figures, units = parse(lines)
+    if not figures:
+        print("no csv rows found (expected lines like csv,fig3get,kiwi,4,5.2,Mkeys/s)")
+        return 1
+    for name in sorted(figures):
+        render_figure(name, figures[name], units.get(name, "?"))
+    print(f"\n{sum(len(s) for s in figures.values())} series across "
+          f"{len(figures)} figures.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,158 @@
+// Uniform harness-facing interface over every map in the repository, plus
+// the static capability traits behind the paper's Table 1.
+//
+// Hot paths in microbenches use the concrete types directly; the virtual
+// indirection here (one predicted call per op, ~1-2ns) is for the workload
+// driver and integration tests, where a single code path across all four
+// competitors matters more.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/ctrie/hash_trie.h"
+#include "baselines/kary/kary_tree.h"
+#include "baselines/locked_map.h"
+#include "baselines/skiplist/skiplist.h"
+#include "baselines/snaptree/cow_tree.h"
+#include "common/config.h"
+#include "core/kiwi_map.h"
+
+namespace kiwi::api {
+
+/// Capability matrix entries (paper Table 1).
+struct MapTraits {
+  bool atomic_scans;    // scans are linearizable snapshots
+  bool multiple_scans;  // several scans may run concurrently
+  bool partial_scans;   // range queries (not only full snapshots)
+  bool wait_free_scans; // scans never restart / block
+  bool balanced;        // logarithmic access under any insertion order
+  bool fast_puts;       // puts not hampered by ongoing scans
+};
+
+class IOrderedMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  virtual ~IOrderedMap() = default;
+  virtual void Put(Key key, Value value) = 0;
+  virtual void Remove(Key key) = 0;
+  virtual std::optional<Value> Get(Key key) = 0;
+  virtual std::size_t Scan(Key from_key, Key to_key,
+                           std::vector<Entry>& out) = 0;
+  virtual std::size_t MemoryFootprint() = 0;
+  /// Quiescent-only: release deferred memory before a footprint reading.
+  virtual void DrainDeferredMemory() {}
+  virtual std::string Name() const = 0;
+  virtual MapTraits Traits() const = 0;
+};
+
+template <typename M>
+class MapAdapter final : public IOrderedMap {
+ public:
+  template <typename... Args>
+  explicit MapAdapter(std::string name, MapTraits traits, Args&&... args)
+      : map_(std::forward<Args>(args)...),
+        name_(std::move(name)),
+        traits_(traits) {}
+
+  void Put(Key key, Value value) override { map_.Put(key, value); }
+  void Remove(Key key) override { map_.Remove(key); }
+  std::optional<Value> Get(Key key) override { return map_.Get(key); }
+  std::size_t Scan(Key from_key, Key to_key,
+                   std::vector<Entry>& out) override {
+    return map_.Scan(from_key, to_key, out);
+  }
+  std::size_t MemoryFootprint() override { return map_.MemoryFootprint(); }
+  void DrainDeferredMemory() override {
+    if constexpr (requires { map_.DrainReclamation(); }) {
+      map_.DrainReclamation();
+    }
+  }
+  std::string Name() const override { return name_; }
+  MapTraits Traits() const override { return traits_; }
+
+  M& Underlying() { return map_; }
+
+ private:
+  M map_;
+  std::string name_;
+  MapTraits traits_;
+};
+
+/// The four competitors of the paper's evaluation (§6.1), by stable name.
+enum class MapKind { kKiWi, kSkipList, kKaryTree, kSnapTree, kCtrie, kLockedMap };
+
+inline const char* KindName(MapKind kind) {
+  switch (kind) {
+    case MapKind::kKiWi: return "kiwi";
+    case MapKind::kSkipList: return "skiplist";
+    case MapKind::kKaryTree: return "kary";
+    case MapKind::kSnapTree: return "snaptree";
+    case MapKind::kCtrie: return "ctrie";
+    case MapKind::kLockedMap: return "lockedmap";
+  }
+  return "?";
+}
+
+inline MapTraits TraitsOf(MapKind kind) {
+  switch (kind) {
+    case MapKind::kKiWi:
+      return {true, true, true, true, true, true};
+    case MapKind::kSkipList:  // non-atomic iterator scans
+      return {false, true, true, true, true, true};
+    case MapKind::kKaryTree:  // restarts on conflict; unbalanced
+      return {true, true, true, false, false, true};
+    case MapKind::kSnapTree:  // COW clones hamper puts
+      return {true, true, true, true, true, false};
+    case MapKind::kCtrie:  // full snapshots only; COW clones hamper puts
+      return {true, true, false, true, true, false};
+    case MapKind::kLockedMap:  // scans block puts outright
+      return {true, true, true, false, true, false};
+  }
+  return {};
+}
+
+/// Factory used by the driver and the benches.
+inline std::unique_ptr<IOrderedMap> MakeMap(
+    MapKind kind, const core::KiWiConfig& kiwi_config = {}) {
+  switch (kind) {
+    case MapKind::kKiWi:
+      return std::make_unique<MapAdapter<core::KiWiMap>>(
+          KindName(kind), TraitsOf(kind), kiwi_config);
+    case MapKind::kSkipList:
+      return std::make_unique<MapAdapter<baselines::SkipList>>(
+          KindName(kind), TraitsOf(kind));
+    case MapKind::kKaryTree:
+      return std::make_unique<MapAdapter<baselines::KaryTree>>(
+          KindName(kind), TraitsOf(kind));
+    case MapKind::kSnapTree:
+      return std::make_unique<MapAdapter<baselines::CowTree>>(
+          KindName(kind), TraitsOf(kind));
+    case MapKind::kCtrie:
+      return std::make_unique<MapAdapter<baselines::HashTrie>>(
+          KindName(kind), TraitsOf(kind));
+    case MapKind::kLockedMap:
+      return std::make_unique<MapAdapter<baselines::LockedMap>>(
+          KindName(kind), TraitsOf(kind));
+  }
+  return nullptr;
+}
+
+/// Parse a map name (as printed by KindName); returns false on mismatch.
+inline bool ParseMapKind(const std::string& name, MapKind* kind) {
+  for (MapKind candidate :
+       {MapKind::kKiWi, MapKind::kSkipList, MapKind::kKaryTree,
+        MapKind::kSnapTree, MapKind::kCtrie, MapKind::kLockedMap}) {
+    if (name == KindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kiwi::api

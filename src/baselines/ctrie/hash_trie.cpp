@@ -1,0 +1,328 @@
+#include "baselines/ctrie/hash_trie.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+
+namespace kiwi::baselines {
+
+HashTrie::HashTrie() {
+  root_.store(new INode(new CNode(), 1), std::memory_order_release);
+}
+
+HashTrie::~HashTrie() {
+  INode* root = root_.load(std::memory_order_relaxed);
+  DestroyCNode(root->main.load(std::memory_order_relaxed));
+  delete root;
+  // Retired shells (CNode/INode/SNode objects replaced during operation)
+  // drain with ebr_'s destructor; their children were shared with the live
+  // tree and are freed exactly once above.
+}
+
+void HashTrie::DestroyCNode(CNode* cnode) {
+  if (cnode == nullptr) return;
+  for (const Branch& branch : cnode->children) {
+    if (branch.IsLeaf()) {
+      delete branch.AsLeaf();
+    } else {
+      INode* inode = branch.AsIndirect();
+      DestroyCNode(inode->main.load(std::memory_order_relaxed));
+      delete inode;
+    }
+  }
+  delete cnode;
+}
+
+std::optional<Value> HashTrie::Get(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  const std::uint64_t hash = HashKey(key);
+  const INode* inode = root_.load(std::memory_order_acquire);
+  int level = 0;
+  while (true) {
+    const CNode* cnode = inode->main.load(std::memory_order_acquire);
+    const std::uint64_t bit = BitAt(hash, level);
+    if ((cnode->bitmap & bit) == 0) return std::nullopt;
+    const Branch branch = cnode->children[cnode->SlotIndex(bit)];
+    if (branch.IsLeaf()) {
+      const SNode* leaf = branch.AsLeaf();
+      if (leaf->key == key) return leaf->value;
+      return std::nullopt;
+    }
+    inode = branch.AsIndirect();
+    ++level;
+  }
+}
+
+bool HashTrie::TryPut(Key key, Value value, std::uint64_t gen) {
+  const std::uint64_t hash = HashKey(key);
+
+  // Make the root indirection current-generation.
+  INode* inode = root_.load(std::memory_order_seq_cst);
+  if (inode->gen != gen) {
+    auto* clone = new INode(inode->main.load(std::memory_order_seq_cst), gen);
+    if (root_.compare_exchange_strong(inode, clone,
+                                      std::memory_order_seq_cst)) {
+      ebr_.RetireObject(inode);
+      cow_clones_.fetch_add(1, std::memory_order_relaxed);
+      inode = clone;
+    } else {
+      delete clone;
+      return false;  // racing writer moved the root; restart
+    }
+  }
+
+  int level = 0;
+  while (true) {
+    CNode* cnode = inode->main.load(std::memory_order_seq_cst);
+    const std::uint64_t bit = BitAt(hash, level);
+
+    if ((cnode->bitmap & bit) == 0) {
+      // Empty slot: insert the leaf into a copy of this branch record.
+      auto* leaf = new SNode{key, value};
+      auto* copy = new CNode();
+      copy->bitmap = cnode->bitmap | bit;
+      copy->children.reserve(cnode->children.size() + 1);
+      const int slot = copy->SlotIndex(bit);
+      copy->children.assign(cnode->children.begin(), cnode->children.end());
+      copy->children.insert(copy->children.begin() + slot,
+                            Branch::Leaf(leaf));
+      if (inode->main.compare_exchange_strong(cnode, copy,
+                                              std::memory_order_seq_cst)) {
+        ebr_.RetireObject(cnode);
+        entry_count_.fetch_add(1, std::memory_order_relaxed);
+        node_count_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      delete leaf;
+      delete copy;
+      return false;
+    }
+
+    const int slot = cnode->SlotIndex(bit);
+    const Branch branch = cnode->children[slot];
+
+    if (branch.IsLeaf()) {
+      SNode* existing = branch.AsLeaf();
+      if (existing->key == key) {
+        // Overwrite: new leaf, new branch record, one CAS.
+        auto* leaf = new SNode{key, value};
+        auto* copy = new CNode(*cnode);
+        copy->children[slot] = Branch::Leaf(leaf);
+        if (inode->main.compare_exchange_strong(cnode, copy,
+                                                std::memory_order_seq_cst)) {
+          ebr_.RetireObject(cnode);
+          ebr_.RetireObject(existing);
+          return true;
+        }
+        delete leaf;
+        delete copy;
+        return false;
+      }
+      // Different key in the slot: grow a subtree separating the two
+      // leaves at the first level where their hashes diverge.
+      auto* leaf = new SNode{key, value};
+      const std::uint64_t existing_hash = HashKey(existing->key);
+      // Build bottom-up from the divergence level.
+      int diverge = level + 1;
+      while (BitAt(hash, diverge) == BitAt(existing_hash, diverge)) {
+        ++diverge;
+        KIWI_ASSERT(diverge * kBitsPerLevel < 70,
+                    "bijective hashes cannot fully collide");
+      }
+      const std::uint64_t bit_new = BitAt(hash, diverge);
+      const std::uint64_t bit_old = BitAt(existing_hash, diverge);
+      auto* bottom = new CNode();
+      bottom->bitmap = bit_new | bit_old;
+      if (bit_new < bit_old) {
+        bottom->children = {Branch::Leaf(leaf), Branch::Leaf(existing)};
+      } else {
+        bottom->children = {Branch::Leaf(existing), Branch::Leaf(leaf)};
+      }
+      Branch sub = Branch::Indirect(new INode(bottom, gen));
+      std::size_t created = 2;  // bottom CNode + its INode
+      for (int l = diverge - 1; l > level; --l) {
+        auto* mid = new CNode();
+        mid->bitmap = BitAt(hash, l);  // == BitAt(existing_hash, l)
+        mid->children = {sub};
+        sub = Branch::Indirect(new INode(mid, gen));
+        created += 2;
+      }
+      auto* copy = new CNode(*cnode);
+      copy->children[slot] = sub;
+      if (inode->main.compare_exchange_strong(cnode, copy,
+                                              std::memory_order_seq_cst)) {
+        ebr_.RetireObject(cnode);
+        entry_count_.fetch_add(1, std::memory_order_relaxed);
+        node_count_.fetch_add(created + 1, std::memory_order_relaxed);
+        return true;
+      }
+      // Tear down the unpublished subtree without touching `existing`.
+      INode* walk = sub.AsIndirect();
+      while (walk != nullptr) {
+        CNode* main = walk->main.load(std::memory_order_relaxed);
+        INode* next = nullptr;
+        for (const Branch& child : main->children) {
+          if (!child.IsLeaf()) next = child.AsIndirect();
+        }
+        delete main;
+        delete walk;
+        walk = next;
+      }
+      delete leaf;
+      delete copy;
+      return false;
+    }
+
+    // Indirection: make it current-generation, then descend.
+    INode* child = branch.AsIndirect();
+    if (child->gen != gen) {
+      auto* clone =
+          new INode(child->main.load(std::memory_order_seq_cst), gen);
+      auto* copy = new CNode(*cnode);
+      copy->children[slot] = Branch::Indirect(clone);
+      if (inode->main.compare_exchange_strong(cnode, copy,
+                                              std::memory_order_seq_cst)) {
+        ebr_.RetireObject(cnode);
+        ebr_.RetireObject(child);
+        cow_clones_.fetch_add(1, std::memory_order_relaxed);
+        inode = clone;
+        ++level;
+        continue;
+      }
+      delete clone;
+      delete copy;
+      return false;
+    }
+    inode = child;
+    ++level;
+  }
+}
+
+bool HashTrie::TryRemove(Key key, std::uint64_t gen) {
+  const std::uint64_t hash = HashKey(key);
+  INode* inode = root_.load(std::memory_order_seq_cst);
+  if (inode->gen != gen) {
+    auto* clone = new INode(inode->main.load(std::memory_order_seq_cst), gen);
+    if (root_.compare_exchange_strong(inode, clone,
+                                      std::memory_order_seq_cst)) {
+      ebr_.RetireObject(inode);
+      cow_clones_.fetch_add(1, std::memory_order_relaxed);
+      inode = clone;
+    } else {
+      delete clone;
+      return false;
+    }
+  }
+  int level = 0;
+  while (true) {
+    CNode* cnode = inode->main.load(std::memory_order_seq_cst);
+    const std::uint64_t bit = BitAt(hash, level);
+    if ((cnode->bitmap & bit) == 0) return true;  // absent
+    const int slot = cnode->SlotIndex(bit);
+    const Branch branch = cnode->children[slot];
+    if (branch.IsLeaf()) {
+      SNode* leaf = branch.AsLeaf();
+      if (leaf->key != key) return true;  // absent
+      auto* copy = new CNode();
+      copy->bitmap = cnode->bitmap & ~bit;
+      copy->children.assign(cnode->children.begin(), cnode->children.end());
+      copy->children.erase(copy->children.begin() + slot);
+      if (inode->main.compare_exchange_strong(cnode, copy,
+                                              std::memory_order_seq_cst)) {
+        ebr_.RetireObject(cnode);
+        ebr_.RetireObject(leaf);
+        entry_count_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      delete copy;
+      return false;
+    }
+    INode* child = branch.AsIndirect();
+    if (child->gen != gen) {
+      auto* clone =
+          new INode(child->main.load(std::memory_order_seq_cst), gen);
+      auto* copy = new CNode(*cnode);
+      copy->children[slot] = Branch::Indirect(clone);
+      if (inode->main.compare_exchange_strong(cnode, copy,
+                                              std::memory_order_seq_cst)) {
+        ebr_.RetireObject(cnode);
+        ebr_.RetireObject(child);
+        cow_clones_.fetch_add(1, std::memory_order_relaxed);
+        inode = clone;
+        ++level;
+        continue;
+      }
+      delete clone;
+      delete copy;
+      return false;
+    }
+    inode = child;
+    ++level;
+  }
+}
+
+void HashTrie::Put(Key key, Value value) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  while (true) {
+    WriterPassScope pass{epoch_lock_};
+    const std::uint64_t gen = gen_.load(std::memory_order_seq_cst);
+    if (TryPut(key, value, gen)) return;
+  }
+}
+
+void HashTrie::Remove(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  while (true) {
+    WriterPassScope pass{epoch_lock_};
+    const std::uint64_t gen = gen_.load(std::memory_order_seq_cst);
+    if (TryRemove(key, gen)) return;
+  }
+}
+
+void HashTrie::CollectAll(const CNode* cnode, Key from, Key to,
+                          std::vector<Entry>& out) const {
+  for (const Branch& branch : cnode->children) {
+    if (branch.IsLeaf()) {
+      const SNode* leaf = branch.AsLeaf();
+      if (leaf->key >= from && leaf->key <= to) {
+        out.emplace_back(leaf->key, leaf->value);
+      }
+    } else {
+      CollectAll(branch.AsIndirect()->main.load(std::memory_order_acquire),
+                 from, to, out);
+    }
+  }
+}
+
+std::size_t HashTrie::Scan(Key from_key, Key to_key,
+                           std::vector<Entry>& out) {
+  out.clear();
+  reclaim::EbrGuard guard(ebr_);
+  epoch_lock_.SnapshotEnter();
+  gen_.fetch_add(1, std::memory_order_seq_cst);
+  const INode* root = root_.load(std::memory_order_seq_cst);
+  const CNode* main = root->main.load(std::memory_order_seq_cst);
+  epoch_lock_.SnapshotExit();
+  // Everything below `main` is frozen; a hash trie has no key order, so the
+  // range read is full-walk + filter + sort — Ctrie's structural handicap.
+  CollectAll(main, from_key, to_key, out);
+  std::sort(out.begin(), out.end());
+  return out.size();
+}
+
+std::size_t HashTrie::Size() {
+  return entry_count_.load(std::memory_order_relaxed);
+}
+
+std::size_t HashTrie::MemoryFootprint() const {
+  return entry_count_.load(std::memory_order_relaxed) * sizeof(SNode) +
+         node_count_.load(std::memory_order_relaxed) *
+             (sizeof(CNode) + 4 * sizeof(Branch) + sizeof(INode)) +
+         sizeof(*this);
+}
+
+}  // namespace kiwi::baselines

@@ -1,0 +1,253 @@
+#include "baselines/kary/kary_tree.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/backoff.h"
+
+namespace kiwi::baselines {
+
+KaryTree::KaryTree(std::uint32_t k) : k_(k) {
+  KIWI_ASSERT(k_ >= 2, "arity must be at least 2");
+  root_.store(new Node(std::vector<Entry>{}), std::memory_order_release);
+}
+
+KaryTree::~KaryTree() { DestroySubtree(root_.load()); }
+
+void KaryTree::DestroySubtree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    for (auto& child : node->children) {
+      DestroySubtree(child.load(std::memory_order_relaxed));
+    }
+  }
+  delete node;
+}
+
+std::size_t KaryTree::ChildIndex(const Node* node, Key key) {
+  const auto it =
+      std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  return static_cast<std::size_t>(it - node->keys.begin());
+}
+
+bool KaryTree::ReplaceChild(Node* parent, std::size_t child_index,
+                            Node* expected, Node* replacement) {
+  Turnstile& turnstile =
+      parent == nullptr ? root_turnstile_ : parent->turnstile;
+  std::atomic<Node*>& slot =
+      parent == nullptr ? root_ : parent->children[child_index];
+  // Enter before the CAS, exit after: scans validate that no writer was
+  // inside this window while they read the node's children.
+  turnstile.entered.fetch_add(1, std::memory_order_seq_cst);
+  const bool swapped =
+      slot.compare_exchange_strong(expected, replacement,
+                                   std::memory_order_seq_cst);
+  turnstile.exited.fetch_add(1, std::memory_order_seq_cst);
+  if (swapped) ebr_.RetireObject(expected);
+  return swapped;
+}
+
+KaryTree::Node* KaryTree::BuildInsert(const Node* leaf, Key key, Value value) {
+  const auto& pairs = leaf->pairs;
+  const auto pos = std::lower_bound(
+      pairs.begin(), pairs.end(), key,
+      [](const Entry& e, Key k) { return e.first < k; });
+  if (pos != pairs.end() && pos->first == key) {
+    // Overwrite: copy with the one value changed.
+    std::vector<Entry> copy(pairs);
+    copy[static_cast<std::size_t>(pos - pairs.begin())].second = value;
+    return new Node(std::move(copy));
+  }
+  std::vector<Entry> merged;
+  merged.reserve(pairs.size() + 1);
+  merged.insert(merged.end(), pairs.begin(), pos);
+  merged.emplace_back(key, value);
+  merged.insert(merged.end(), pos, pairs.end());
+  if (merged.size() <= k_) return new Node(std::move(merged));
+
+  // Leaf overflow: replace with a depth-1 subtree of k leaves (Brown &
+  // Helga).  No rebalancing ever happens above this, which is what makes
+  // ordered insertion degenerate into a path.
+  const std::size_t total = merged.size();  // == k_ + 1
+  const std::size_t base = total / k_;
+  const std::size_t extra = total % k_;
+  std::vector<Key> routing;
+  routing.reserve(k_ - 1);
+  auto* internal = new Node(std::vector<Key>{}, k_);
+  std::size_t offset = 0;
+  for (std::size_t child = 0; child < k_; ++child) {
+    const std::size_t take = base + (child < extra ? 1 : 0);
+    std::vector<Entry> bucket(merged.begin() + offset,
+                              merged.begin() + offset + take);
+    offset += take;
+    if (child > 0) routing.push_back(bucket.empty() ? routing.back()
+                                                    : bucket.front().first);
+    internal->children[child].store(new Node(std::move(bucket)),
+                                    std::memory_order_relaxed);
+  }
+  internal->keys = std::move(routing);
+  internal_count_.fetch_add(1, std::memory_order_relaxed);
+  leaf_count_.fetch_add(k_ - 1, std::memory_order_relaxed);
+  return internal;
+}
+
+void KaryTree::Put(Key key, Value value) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  Backoff backoff;
+  while (true) {
+    Node* parent = nullptr;
+    std::size_t child_index = 0;
+    Node* node = root_.load(std::memory_order_acquire);
+    while (!node->is_leaf) {
+      parent = node;
+      child_index = ChildIndex(node, key);
+      node = node->children[child_index].load(std::memory_order_acquire);
+    }
+    Node* replacement = BuildInsert(node, key, value);
+    if (ReplaceChild(parent, child_index, node, replacement)) return;
+    // Lost the CAS: tear down the unpublished replacement (rolling back the
+    // split accounting BuildInsert did) and retry.
+    if (!replacement->is_leaf) {
+      internal_count_.fetch_sub(1, std::memory_order_relaxed);
+      leaf_count_.fetch_sub(k_ - 1, std::memory_order_relaxed);
+    }
+    DestroySubtree(replacement);
+    backoff.Spin();
+  }
+}
+
+void KaryTree::Remove(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  Backoff backoff;
+  while (true) {
+    Node* parent = nullptr;
+    std::size_t child_index = 0;
+    Node* node = root_.load(std::memory_order_acquire);
+    while (!node->is_leaf) {
+      parent = node;
+      child_index = ChildIndex(node, key);
+      node = node->children[child_index].load(std::memory_order_acquire);
+    }
+    const auto pos = std::lower_bound(
+        node->pairs.begin(), node->pairs.end(), key,
+        [](const Entry& e, Key k) { return e.first < k; });
+    if (pos == node->pairs.end() || pos->first != key) return;  // absent
+    std::vector<Entry> copy;
+    copy.reserve(node->pairs.size() - 1);
+    copy.insert(copy.end(), node->pairs.begin(), pos);
+    copy.insert(copy.end(), pos + 1, node->pairs.end());
+    Node* replacement = new Node(std::move(copy));
+    if (ReplaceChild(parent, child_index, node, replacement)) return;
+    delete replacement;
+    backoff.Spin();
+  }
+}
+
+std::optional<Value> KaryTree::Get(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  Node* node = root_.load(std::memory_order_acquire);
+  while (!node->is_leaf) {
+    node = node->children[ChildIndex(node, key)].load(
+        std::memory_order_acquire);
+  }
+  const auto pos = std::lower_bound(
+      node->pairs.begin(), node->pairs.end(), key,
+      [](const Entry& e, Key k) { return e.first < k; });
+  if (pos == node->pairs.end() || pos->first != key) return std::nullopt;
+  return pos->second;
+}
+
+std::size_t KaryTree::Scan(Key from_key, Key to_key,
+                           std::vector<Entry>& out) {
+  reclaim::EbrGuard guard(ebr_);
+  // Double-collect validation: before reading a node's children, record its
+  // turnstile's `exited`; after the whole traversal, every recorded node
+  // must satisfy entered == that snapshot — otherwise a conflicting update
+  // ran inside the window and the scan restarts (k-ary trees restart scans
+  // on every conflicting put; that is the measured behaviour).
+  Backoff backoff;
+  while (true) {
+    out.clear();
+    std::vector<std::pair<const Turnstile*, std::uint64_t>> validations;
+    bool conflict = false;
+
+    const std::uint64_t root_exited =
+        root_turnstile_.exited.load(std::memory_order_seq_cst);
+    Node* root = root_.load(std::memory_order_seq_cst);
+    validations.emplace_back(&root_turnstile_, root_exited);
+
+    // Explicit stack: a degenerated tree can be arbitrarily deep.
+    std::vector<Node*> stack;
+    stack.push_back(root);
+    while (!stack.empty() && !conflict) {
+      Node* node = stack.back();
+      stack.pop_back();
+      if (node->is_leaf) {
+        for (const Entry& entry : node->pairs) {
+          if (entry.first >= from_key && entry.first <= to_key) {
+            out.push_back(entry);
+          }
+        }
+        continue;
+      }
+      const std::uint64_t exited =
+          node->turnstile.exited.load(std::memory_order_seq_cst);
+      validations.emplace_back(&node->turnstile, exited);
+      // Push only children whose routing interval intersects [from, to],
+      // in reverse so the DFS emits ascending order.
+      const std::size_t first_child = ChildIndex(node, from_key);
+      std::size_t last_child = ChildIndex(node, to_key);
+      for (std::size_t i = last_child + 1; i-- > first_child;) {
+        Node* child = node->children[i].load(std::memory_order_seq_cst);
+        stack.push_back(child);
+      }
+    }
+
+    if (!conflict) {
+      for (const auto& [turnstile, exited] : validations) {
+        if (turnstile->entered.load(std::memory_order_seq_cst) != exited) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (!conflict) {
+      std::sort(out.begin(), out.end());
+      return out.size();
+    }
+    scan_restarts_.fetch_add(1, std::memory_order_relaxed);
+    backoff.Spin();
+  }
+}
+
+std::size_t KaryTree::Size() {
+  std::vector<Entry> all;
+  return Scan(kMinUserKey, kMaxUserKey, all);
+}
+
+std::size_t KaryTree::Depth() {
+  reclaim::EbrGuard guard(ebr_);
+  std::size_t depth = 0;
+  Node* node = root_.load(std::memory_order_acquire);
+  while (!node->is_leaf) {
+    // Follow the first child: ordered insertion degenerates leftward or
+    // rightward; take the deeper of first/last for a better estimate.
+    node = node->children[node->children.size() - 1].load(
+        std::memory_order_acquire);
+    ++depth;
+  }
+  return depth;
+}
+
+std::size_t KaryTree::MemoryFootprint() const {
+  const std::size_t leaves = leaf_count_.load(std::memory_order_relaxed);
+  const std::size_t internals =
+      internal_count_.load(std::memory_order_relaxed);
+  return leaves * (sizeof(Node) + k_ * sizeof(Entry) / 2) +
+         internals * (sizeof(Node) + k_ * sizeof(void*)) + sizeof(*this);
+}
+
+}  // namespace kiwi::baselines

@@ -1,0 +1,126 @@
+// Non-blocking k-ary search tree with atomic range queries — the analogue of
+// Brown & Avni's LockFreeKSTRQ [15] (paper's strongest scan competitor).
+//
+// Shape follows Brown & Helga's k-ST [16]:
+//  * external tree: all data in leaves (sorted arrays of <= k pairs);
+//    internal nodes hold k-1 routing keys and k child pointers;
+//  * leaves are immutable; an update copies the leaf and CASes the parent's
+//    child slot (a full leaf is replaced by a depth-1 subtree);
+//  * there is NO rebalancing, so a monotonically ordered insertion stream
+//    degenerates the tree into a path — the behaviour behind the paper's
+//    730x ordered-workload collapse (§6.2).
+//
+// Range queries are atomic via double-collect validation: every visited
+// node's writer-turnstile is recorded before its children are read and
+// re-checked after the whole traversal; any conflicting update restarts the
+// scan from scratch.  This reproduces the progress envelope the paper
+// measures: scans are atomic but starve under concurrent puts
+// (Figure 4(a-c)).  DESIGN.md documents this substitution for the original's
+// mark-based validation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "reclaim/ebr.h"
+
+namespace kiwi::baselines {
+
+class KaryTree {
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  /// `k`: tree arity (the paper benchmarks the authors' optimal k = 64).
+  explicit KaryTree(std::uint32_t k = 64);
+  ~KaryTree();
+  KaryTree(const KaryTree&) = delete;
+  KaryTree& operator=(const KaryTree&) = delete;
+
+  /// Insert or overwrite (copies the target leaf).  Lock-free.
+  void Put(Key key, Value value);
+
+  /// Remove `key` if present (copies the target leaf).  Lock-free.
+  void Remove(Key key);
+
+  /// Read the latest value.  Lock-free (simple descent, no helping).
+  std::optional<Value> Get(Key key);
+
+  /// Atomic range query over [from, to], ascending.  Restarts on conflict —
+  /// may livelock under sustained conflicting updates (by design; this is
+  /// the measured property).
+  std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out);
+
+  template <typename F>
+  std::size_t Scan(Key from_key, Key to_key, F&& yield) {
+    std::vector<Entry> buffer;
+    Scan(from_key, to_key, buffer);
+    for (const Entry& entry : buffer) yield(entry.first, entry.second);
+    return buffer.size();
+  }
+
+  std::size_t Size();
+  std::size_t MemoryFootprint() const;
+
+  /// Scan restarts caused by conflicting updates (diagnostics / benches).
+  std::uint64_t ScanRestarts() const {
+    return scan_restarts_.load(std::memory_order_relaxed);
+  }
+
+  /// Depth of the tree (diagnostics: shows ordered-insert degeneration).
+  std::size_t Depth();
+
+ private:
+  struct Node;
+
+  /// Writer turnstile: Scan validation checks that no child-slot CAS ran
+  /// inside its read window (entered(after reads) == exited(before reads)).
+  struct Turnstile {
+    std::atomic<std::uint64_t> entered{0};
+    std::atomic<std::uint64_t> exited{0};
+  };
+
+  struct Node {
+    const bool is_leaf;
+    // Leaf payload: sorted pairs (immutable after publication).
+    std::vector<Entry> pairs;
+    // Internal payload: routing keys (child i covers keys < keys[i], the
+    // last child covers the rest) and child pointers.
+    std::vector<Key> keys;
+    std::vector<std::atomic<Node*>> children;
+    Turnstile turnstile;
+
+    explicit Node(std::vector<Entry> leaf_pairs)
+        : is_leaf(true), pairs(std::move(leaf_pairs)) {}
+    Node(std::vector<Key> routing, std::size_t fanout)
+        : is_leaf(false), keys(std::move(routing)), children(fanout) {}
+  };
+
+  /// Index of the child covering `key`.
+  static std::size_t ChildIndex(const Node* node, Key key);
+
+  /// Replace `leaf` (found under `parent` at `child_index`; parent == null
+  /// means root) by `replacement`.  Returns true on success and retires the
+  /// old leaf.
+  bool ReplaceChild(Node* parent, std::size_t child_index, Node* expected,
+                    Node* replacement);
+
+  /// Build the replacement for inserting (key, value) into `leaf`: a bigger
+  /// leaf, or a depth-1 subtree when the leaf is full.
+  Node* BuildInsert(const Node* leaf, Key key, Value value);
+
+  void DestroySubtree(Node* node);
+
+  const std::uint32_t k_;
+  std::atomic<Node*> root_;
+  Turnstile root_turnstile_;
+  mutable reclaim::Ebr ebr_;
+  std::atomic<std::size_t> leaf_count_{1};
+  std::atomic<std::size_t> internal_count_{0};
+  std::atomic<std::uint64_t> scan_restarts_{0};
+};
+
+}  // namespace kiwi::baselines

@@ -1,0 +1,80 @@
+// Trivially correct reference map: std::map under a shared mutex.
+//
+// Not a performance baseline — it exists as (a) the linearizable oracle the
+// property/stress tests compare every other structure against, and (b) a
+// floor in the quickstart example.  Scans are atomic (they hold the shared
+// lock for their whole duration, which is exactly the behaviour KiWi's
+// design wants to avoid).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+
+namespace kiwi::baselines {
+
+class LockedMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  void Put(Key key, Value value) {
+    std::unique_lock lock(mutex_);
+    map_[key] = value;
+  }
+
+  void Remove(Key key) {
+    std::unique_lock lock(mutex_);
+    map_.erase(key);
+  }
+
+  std::optional<Value> Get(Key key) {
+    std::shared_lock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out) {
+    out.clear();
+    std::shared_lock lock(mutex_);
+    for (auto it = map_.lower_bound(from_key);
+         it != map_.end() && it->first <= to_key; ++it) {
+      out.emplace_back(it->first, it->second);
+    }
+    return out.size();
+  }
+
+  template <typename F>
+  std::size_t Scan(Key from_key, Key to_key, F&& yield) {
+    std::shared_lock lock(mutex_);
+    std::size_t count = 0;
+    for (auto it = map_.lower_bound(from_key);
+         it != map_.end() && it->first <= to_key; ++it) {
+      yield(it->first, it->second);
+      ++count;
+    }
+    return count;
+  }
+
+  std::size_t Size() {
+    std::shared_lock lock(mutex_);
+    return map_.size();
+  }
+
+  std::size_t MemoryFootprint() {
+    std::shared_lock lock(mutex_);
+    // std::map node: 3 pointers + color + pair, rounded to allocator reality.
+    return map_.size() * (sizeof(Entry) + 4 * sizeof(void*)) + sizeof(*this);
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  std::map<Key, Value> map_;
+};
+
+}  // namespace kiwi::baselines

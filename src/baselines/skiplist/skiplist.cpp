@@ -1,0 +1,186 @@
+#include "baselines/skiplist/skiplist.h"
+
+#include "common/assert.h"
+#include "common/backoff.h"
+#include "common/thread_registry.h"
+
+namespace kiwi::baselines {
+
+namespace {
+thread_local Xoshiro256 t_rng(0x2545F4914F6CDD1DULL);
+}  // namespace
+
+SkipList::SkipList() {
+  head_ = new Node(kMinKeySentinel, 0, kMaxHeight);
+}
+
+SkipList::~SkipList() {
+  Node* node = head_;
+  while (node != nullptr) {
+    Node* next = node->next[0].Load().Ptr();
+    delete node;
+    node = next;
+  }
+}
+
+int SkipList::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && (t_rng.Next() & 3u) == 0) ++height;
+  return height;
+}
+
+bool SkipList::Find(Key key, Node** preds, Node** succs) {
+retry:
+  Node* pred = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (true) {
+      Node* curr = pred->next[level].Load().Ptr();
+      // Physically unlink marked nodes sitting in the window.
+      while (curr != nullptr) {
+        const MarkedPtr<Node> succ_mp = curr->next[level].Load();
+        if (!succ_mp.Mark()) break;
+        if (!pred->next[level].CompareExchange(
+                MarkedPtr<Node>(curr, false),
+                MarkedPtr<Node>(succ_mp.Ptr(), false))) {
+          goto retry;  // window moved; restart from the top
+        }
+        // The bottom-level unlink has a unique winner per node (links are
+        // only ever removed), so it owns reclamation.
+        if (level == 0) {
+          ebr_.RetireObject(curr);
+          node_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        curr = succ_mp.Ptr();
+      }
+      if (curr == nullptr || curr->key >= key) {
+        preds[level] = pred;
+        succs[level] = curr;
+        break;
+      }
+      pred = curr;
+    }
+  }
+  return succs[0] != nullptr && succs[0]->key == key;
+}
+
+void SkipList::Put(Key key, Value value) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  const int height = RandomHeight();
+  while (true) {
+    if (Find(key, preds, succs)) {
+      // Present: overwrite in place (Java CSLM semantics).  A concurrent
+      // remove may race; the winner is decided by the mark, and an
+      // overwritten-then-removed value is a legal linearization.
+      succs[0]->value.store(value, std::memory_order_release);
+      return;
+    }
+    Node* node = new Node(key, value, height);
+    for (int level = 0; level < height; ++level) {
+      node->next[level].Store(MarkedPtr<Node>(succs[level], false));
+    }
+    // Linearize by linking the bottom level.
+    if (!preds[0]->next[0].CompareExchange(MarkedPtr<Node>(succs[0], false),
+                                           MarkedPtr<Node>(node, false))) {
+      delete node;  // never visible
+      continue;
+    }
+    node_count_.fetch_add(1, std::memory_order_relaxed);
+    // Link the upper levels best-effort.
+    for (int level = 1; level < height; ++level) {
+      while (true) {
+        // Our node may have been removed already; stop linking then.
+        if (node->next[level].Load().Mark()) return;
+        if (preds[level]->next[level].CompareExchange(
+                MarkedPtr<Node>(succs[level], false),
+                MarkedPtr<Node>(node, false))) {
+          break;
+        }
+        Find(key, preds, succs);  // recompute the window
+        if (succs[0] != node) return;  // removed (and maybe re-inserted)
+        node->next[level].Store(MarkedPtr<Node>(succs[level], false));
+      }
+    }
+    return;
+  }
+}
+
+void SkipList::Remove(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  if (!Find(key, preds, succs)) return;
+  Node* victim = succs[0];
+  // Mark top-down; the bottom-level mark is the linearization point and has
+  // a unique winner, who triggers the physical unlink.
+  for (int level = victim->height - 1; level >= 1; --level) {
+    MarkedPtr<Node> succ = victim->next[level].Load();
+    while (!succ.Mark()) {
+      victim->next[level].CompareExchange(
+          succ, MarkedPtr<Node>(succ.Ptr(), true));
+      succ = victim->next[level].Load();
+    }
+  }
+  MarkedPtr<Node> succ = victim->next[0].Load();
+  while (true) {
+    if (succ.Mark()) return;  // someone else removed it
+    if (victim->next[0].CompareExchange(succ,
+                                        MarkedPtr<Node>(succ.Ptr(), true))) {
+      // We own the removal; physically unlink (Find does it) so memory is
+      // bounded even without further traffic to this key range.
+      Find(key, preds, succs);
+      return;
+    }
+    succ = victim->next[0].Load();
+  }
+}
+
+std::optional<Value> SkipList::Get(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  // Wait-free: traverse without unlinking or helping.
+  Node* pred = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    Node* curr = pred->next[level].Load().Ptr();
+    while (curr != nullptr && curr->key < key) {
+      pred = curr;
+      curr = curr->next[level].Load().Ptr();
+    }
+  }
+  Node* curr = pred->next[0].Load().Ptr();
+  while (curr != nullptr && curr->key < key) {
+    curr = curr->next[0].Load().Ptr();
+  }
+  if (curr == nullptr || curr->key != key) return std::nullopt;
+  const Value value = curr->value.load(std::memory_order_acquire);
+  if (curr->next[0].Load().Mark()) return std::nullopt;  // logically deleted
+  return value;
+}
+
+SkipList::Node* SkipList::LowerBound(Key from_key) {
+  Node* pred = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    Node* curr = pred->next[level].Load().Ptr();
+    while (curr != nullptr && curr->key < from_key) {
+      pred = curr;
+      curr = curr->next[level].Load().Ptr();
+    }
+  }
+  return pred->next[0].Load().Ptr();
+}
+
+std::size_t SkipList::Size() {
+  std::size_t count = 0;
+  Scan(kMinUserKey, kMaxUserKey, [&count](Key, Value) { ++count; });
+  return count;
+}
+
+std::size_t SkipList::MemoryFootprint() const {
+  return node_count_.load(std::memory_order_relaxed) * sizeof(Node) +
+         sizeof(*this);
+}
+
+}  // namespace kiwi::baselines

@@ -1,0 +1,105 @@
+// Lock-free concurrent skiplist — the repository's analogue of Java's
+// ConcurrentSkipListMap [6], KiWi's "no atomic scans" competitor.
+//
+// Herlihy-Shavit LockFreeSkipList shape: towers of marked next pointers,
+// logical deletion by marking, physical unlinking by the Find traversal.
+// Gets are wait-free (no helping); Put/Remove are lock-free.
+//
+// Scan is a *weakly consistent* iterator over the bottom level, exactly like
+// the Java map's: it never blocks and never throws, but concurrent updates
+// may or may not be reflected — it is NOT atomic.  That non-atomicity is the
+// property the paper's comparison hinges on (Table 1, Figure 3(c)).
+//
+// Memory reclamation: nodes retired through an epoch domain after full
+// physical unlinking; all operations run inside EbrGuards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/marked_ptr.h"
+#include "common/random.h"
+#include "reclaim/ebr.h"
+
+namespace kiwi::baselines {
+
+class SkipList {
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  SkipList();
+  ~SkipList();
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Insert or overwrite.  Lock-free.
+  void Put(Key key, Value value);
+
+  /// Remove `key` if present.  Lock-free.
+  void Remove(Key key);
+
+  /// Wait-free read of the latest value.
+  std::optional<Value> Get(Key key);
+
+  /// Weakly-consistent (non-atomic) range read over [from, to], ascending.
+  template <typename F>
+  std::size_t Scan(Key from_key, Key to_key, F&& yield) {
+    reclaim::EbrGuard guard(ebr_);
+    std::size_t count = 0;
+    Node* node = LowerBound(from_key);
+    while (node != nullptr && node->key <= to_key) {
+      // Skip logically deleted nodes; read the value before re-checking the
+      // mark so a racing remove is either fully seen or fully missed.
+      const Value value = node->value.load(std::memory_order_acquire);
+      if (!node->next[0].Load().Mark()) {
+        yield(node->key, value);
+        ++count;
+      }
+      node = node->next[0].Load().Ptr();
+    }
+    return count;
+  }
+
+  std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out) {
+    out.clear();
+    return Scan(from_key, to_key,
+                [&out](Key k, Value v) { out.emplace_back(k, v); });
+  }
+
+  std::size_t Size();
+  std::size_t MemoryFootprint() const;
+  const reclaim::Ebr& Reclaimer() const { return ebr_; }
+
+  static constexpr int kMaxHeight = 24;
+
+ private:
+  struct Node {
+    const Key key;
+    std::atomic<Value> value;
+    const int height;
+    AtomicMarkedPtr<Node> next[kMaxHeight];
+
+    Node(Key k, Value v, int h) : key(k), value(v), height(h) {}
+  };
+
+  /// Standard lock-free Find: locates the window (preds[i], succs[i]) for
+  /// `key` at every level, physically unlinking marked nodes on the way.
+  /// Returns true if an unmarked node with `key` sits at the bottom level.
+  bool Find(Key key, Node** preds, Node** succs);
+
+  /// First live node with key >= from (scan entry point; no unlinking, so
+  /// the scan itself stays wait-free).
+  Node* LowerBound(Key from_key);
+
+  int RandomHeight();
+
+  Node* head_;  // full-height sentinel with key = kMinKeySentinel
+  mutable reclaim::Ebr ebr_;
+  std::atomic<std::size_t> node_count_{0};
+};
+
+}  // namespace kiwi::baselines

@@ -1,0 +1,139 @@
+#include "baselines/snaptree/cow_tree.h"
+
+#include "common/assert.h"
+
+namespace kiwi::baselines {
+
+CowTree::CowTree() = default;
+
+CowTree::~CowTree() { DestroySubtree(root_.load()); }
+
+void CowTree::DestroySubtree(Node* node) {
+  if (node == nullptr) return;
+  DestroySubtree(node->left.load(std::memory_order_relaxed));
+  DestroySubtree(node->right.load(std::memory_order_relaxed));
+  delete node;
+}
+
+CowTree::Node* CowTree::CloneInto(std::atomic<Node*>& slot, Node* stale,
+                                  std::uint64_t gen) {
+  // `stale` belongs to an older generation, hence is immutable: its fields
+  // can be read without synchronization concerns.
+  auto* clone = new Node(stale->key,
+                         stale->value.load(std::memory_order_relaxed), gen);
+  clone->deleted.store(stale->deleted.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  clone->left.store(stale->left.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  clone->right.store(stale->right.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  Node* expected = stale;
+  if (slot.compare_exchange_strong(expected, clone,
+                                   std::memory_order_seq_cst)) {
+    // The stale node is unreachable from the *current* tree; snapshots that
+    // still reference it hold EBR guards.
+    ebr_.RetireObject(stale);
+    cow_clones_.fetch_add(1, std::memory_order_relaxed);
+    return clone;
+  }
+  delete clone;  // a racing writer cloned it first (or replaced the slot)
+  return expected;
+}
+
+void CowTree::Put(Key key, Value value) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  WriterPass pass(epoch_lock_);
+  reclaim::EbrGuard guard(ebr_);
+  // The generation read follows the turnstile entry: a scan that bumped it
+  // earlier is fully visible, and a scan that bumps later waits for us.
+  const std::uint64_t gen = gen_.load(std::memory_order_seq_cst);
+
+  std::atomic<Node*>* slot = &root_;
+  while (true) {
+    Node* node = slot->load(std::memory_order_seq_cst);
+    if (node == nullptr) {
+      auto* fresh = new Node(key, value, gen);
+      Node* expected = nullptr;
+      if (slot->compare_exchange_strong(expected, fresh,
+                                        std::memory_order_seq_cst)) {
+        node_count_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      delete fresh;
+      continue;  // re-read the slot
+    }
+    if (node->gen < gen) {
+      node = CloneInto(*slot, node, gen);
+      // Continue into whatever now sits in the slot (our clone or a racing
+      // writer's); it is current-generation by construction.
+      if (node->gen < gen) continue;  // paranoid re-check, slot changed
+    }
+    if (node->key == key) {
+      // Current-generation node: in-place update with single-word stores.
+      node->value.store(value, std::memory_order_seq_cst);
+      node->deleted.store(false, std::memory_order_seq_cst);
+      return;
+    }
+    slot = &ChildTowards(node, key);
+  }
+}
+
+void CowTree::Remove(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  WriterPass pass(epoch_lock_);
+  reclaim::EbrGuard guard(ebr_);
+  const std::uint64_t gen = gen_.load(std::memory_order_seq_cst);
+
+  std::atomic<Node*>* slot = &root_;
+  while (true) {
+    Node* node = slot->load(std::memory_order_seq_cst);
+    if (node == nullptr) return;  // absent
+    if (node->gen < gen) {
+      // Clone even on the delete path: the tombstone store below must not
+      // touch a frozen node.
+      node = CloneInto(*slot, node, gen);
+      if (node->gen < gen) continue;
+    }
+    if (node->key == key) {
+      node->deleted.store(true, std::memory_order_seq_cst);
+      return;
+    }
+    slot = &ChildTowards(node, key);
+  }
+}
+
+std::optional<Value> CowTree::Get(Key key) {
+  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  reclaim::EbrGuard guard(ebr_);
+  Node* node = root_.load(std::memory_order_acquire);
+  while (node != nullptr) {
+    if (node->key == key) {
+      // Value before deleted-flag: both orders linearize, this one never
+      // returns a value the key no longer has.
+      const Value value = node->value.load(std::memory_order_acquire);
+      if (node->deleted.load(std::memory_order_acquire)) return std::nullopt;
+      return value;
+    }
+    node = ChildTowards(node, key).load(std::memory_order_acquire);
+  }
+  return std::nullopt;
+}
+
+std::size_t CowTree::Scan(Key from_key, Key to_key, std::vector<Entry>& out) {
+  out.clear();
+  return Scan(from_key, to_key,
+              [&out](Key k, Value v) { out.emplace_back(k, v); });
+}
+
+std::size_t CowTree::Size() {
+  std::size_t count = 0;
+  Scan(kMinUserKey, kMaxUserKey, [&count](Key, Value) { ++count; });
+  return count;
+}
+
+std::size_t CowTree::MemoryFootprint() const {
+  return node_count_.load(std::memory_order_relaxed) * sizeof(Node) +
+         sizeof(*this);
+}
+
+}  // namespace kiwi::baselines

@@ -1,0 +1,24 @@
+// Always-on invariant checks for cheap assertions plus debug-only heavy ones.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// KIWI_ASSERT: enabled in all build types.  Concurrent-algorithm invariant
+// violations must never be silently ignored; the cost of these checks is
+// negligible next to the atomic operations they sit beside.
+#define KIWI_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      std::fprintf(stderr, "KIWI_ASSERT failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// KIWI_DASSERT: debug-only (e.g. O(n) structural scans).
+#ifdef NDEBUG
+#define KIWI_DASSERT(cond, msg) ((void)0)
+#else
+#define KIWI_DASSERT(cond, msg) KIWI_ASSERT(cond, msg)
+#endif

@@ -1,0 +1,43 @@
+// Bounded exponential backoff for CAS retry loops.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace kiwi {
+
+/// Pause the CPU briefly (PAUSE on x86, yield elsewhere).
+inline void CpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Bounded exponential backoff.  After `kYieldThreshold` rounds of spinning
+/// it starts yielding the OS thread, which matters on over-subscribed
+/// machines (more worker threads than cores).
+class Backoff {
+ public:
+  void Spin() noexcept {
+    if (round_ >= kYieldThreshold) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < (1u << round_); ++i) CpuRelax();
+    ++round_;
+  }
+
+  void Reset() noexcept { round_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kYieldThreshold = 10;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace kiwi

@@ -1,0 +1,37 @@
+// Spin barrier used by the benchmark driver and stress tests to release all
+// worker threads at once (std::barrier parks threads, which skews short
+// measurement windows).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/backoff.h"
+
+namespace kiwi {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+
+  /// Block (spinning) until `parties` threads have arrived.  Reusable.
+  void ArriveAndWait() {
+    const std::size_t generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    Backoff backoff;
+    while (generation_.load(std::memory_order_acquire) == generation) {
+      backoff.Spin();
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::size_t> generation_{0};
+};
+
+}  // namespace kiwi

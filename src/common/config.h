@@ -1,0 +1,44 @@
+// Core type and constant definitions shared by every kiwi module.
+//
+// The paper evaluates (integer, integer) pairs; we follow it with fixed-width
+// 64-bit keys and values.  Values go through a level of indirection inside a
+// chunk (the `valPtr` of Algorithm 1) so the tie-breaking rule between puts
+// with equal versions ("break ties by valPtr") is expressible exactly as in
+// the paper, and so variable-length payloads can be added without changing
+// the algorithm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace kiwi {
+
+/// Key type of every map in this repository.
+using Key = std::int64_t;
+/// Value type of every map in this repository.
+using Value = std::int64_t;
+/// Version numbers handed out by the global version counter (GV).
+using Version = std::uint64_t;
+
+/// The smallest representable key is reserved for the sentinel head chunk
+/// (minKey = -inf in the paper); user keys must be strictly greater.
+inline constexpr Key kMinKeySentinel = std::numeric_limits<Key>::min();
+/// Smallest key a user may insert.
+inline constexpr Key kMinUserKey = kMinKeySentinel + 1;
+/// Largest key a user may insert.
+inline constexpr Key kMaxUserKey = std::numeric_limits<Key>::max();
+
+/// The paper removes a key by putting the bottom value; we reserve the
+/// smallest Value as that tombstone.  User values must be strictly greater.
+inline constexpr Value kTombstoneValue = std::numeric_limits<Value>::min();
+
+/// Maximum number of threads that may ever touch a map concurrently.  Sizes
+/// the per-chunk pending put array (PPA) and the global pending scan array
+/// (PSA).  Thread slots are recycled on thread exit (see thread_registry.h).
+inline constexpr std::size_t kMaxThreads = 64;
+
+/// Cache line size used for padding shared hot words.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace kiwi

@@ -1,0 +1,68 @@
+// Pointer with a mark bit packed into the (always-zero) low bit.
+//
+// KiWi marks the `next` pointer of the last engaged chunk immutable before
+// splicing replacement chunks into the list (rebalance stage 5); the
+// baseline skiplist uses the same trick for logical deletion (Harris-style).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace kiwi {
+
+/// Value-type view of a pointer+mark pair.
+template <typename T>
+class MarkedPtr {
+ public:
+  MarkedPtr() = default;
+  MarkedPtr(T* ptr, bool mark)
+      : bits_(reinterpret_cast<std::uintptr_t>(ptr) |
+              static_cast<std::uintptr_t>(mark)) {
+    KIWI_ASSERT((reinterpret_cast<std::uintptr_t>(ptr) & 1u) == 0,
+                "pointer not 2-byte aligned");
+  }
+
+  T* Ptr() const noexcept { return reinterpret_cast<T*>(bits_ & ~std::uintptr_t{1}); }
+  bool Mark() const noexcept { return (bits_ & 1u) != 0; }
+  std::uintptr_t Raw() const noexcept { return bits_; }
+  static MarkedPtr FromRaw(std::uintptr_t raw) noexcept {
+    MarkedPtr p;
+    p.bits_ = raw;
+    return p;
+  }
+
+  friend bool operator==(MarkedPtr a, MarkedPtr b) { return a.bits_ == b.bits_; }
+
+ private:
+  std::uintptr_t bits_ = 0;
+};
+
+/// Atomic pointer+mark word.
+template <typename T>
+class AtomicMarkedPtr {
+ public:
+  AtomicMarkedPtr() : bits_(0) {}
+  explicit AtomicMarkedPtr(T* ptr) : bits_(MarkedPtr<T>(ptr, false).Raw()) {}
+
+  MarkedPtr<T> Load(std::memory_order order = std::memory_order_acquire) const {
+    return MarkedPtr<T>::FromRaw(bits_.load(order));
+  }
+
+  void Store(MarkedPtr<T> value,
+             std::memory_order order = std::memory_order_release) {
+    bits_.store(value.Raw(), order);
+  }
+
+  bool CompareExchange(MarkedPtr<T> expected, MarkedPtr<T> desired) {
+    std::uintptr_t exp = expected.Raw();
+    return bits_.compare_exchange_strong(exp, desired.Raw(),
+                                         std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::uintptr_t> bits_;
+};
+
+}  // namespace kiwi

@@ -1,0 +1,30 @@
+// Cache-line padded wrappers to prevent false sharing between hot shared
+// words (GV, PSA entries, per-thread counters).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/config.h"
+
+namespace kiwi {
+
+/// A T padded out to a full cache line.  Use for elements of arrays indexed
+/// by thread id, where neighbouring entries are written by different threads.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// Cache-line padded atomic.
+template <typename T>
+struct alignas(kCacheLineSize) PaddedAtomic {
+  std::atomic<T> value{};
+};
+
+}  // namespace kiwi

@@ -1,0 +1,62 @@
+// Small fast per-thread PRNGs for workload generation and probabilistic
+// policy decisions.  Not cryptographic; chosen for speed and statistical
+// quality adequate for benchmarking (splitmix64 seeding + xoshiro256**).
+#pragma once
+
+#include <cstdint>
+
+namespace kiwi {
+
+/// splitmix64: used to expand a single seed into generator state.
+inline std::uint64_t Splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna.  One instance per thread.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = Splitmix64(sm);
+  }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift: unbiased enough for workload generation and
+    // branch-free, via a 128-bit multiply.
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>((uint128{Next()} * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) noexcept { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace kiwi

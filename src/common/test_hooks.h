@@ -1,0 +1,54 @@
+// Test-only failure injection points.
+//
+// Concurrency races the paper reasons about (a put stalling between
+// publishing in the PPA and acquiring a version; a rebalancer stalling
+// between freeze and build; a helper stalling before the splice) have
+// windows of a few instructions — too narrow for a scheduler to hit
+// reliably.  Tests widen them by installing a hook (typically a yield or a
+// short sleep) at the exact point.  Default is a single relaxed load per
+// site: negligible next to the adjacent fenced atomics.
+#pragma once
+
+#include <atomic>
+
+namespace kiwi {
+
+struct TestHooks {
+  using Hook = void (*)();
+
+  /// Put published its cell in the PPA but has not yet CASed a version —
+  /// the window scans/gets must help across (paper Figure 2).
+  static std::atomic<Hook> put_before_version_cas;
+
+  /// Rebalance froze the engaged chunks but has not yet built replacements —
+  /// puts landing here must restart, reads must still be served.
+  static std::atomic<Hook> rebalance_after_freeze;
+
+  /// Replacement section agreed but not yet spliced — the longest window in
+  /// which old and new chunks coexist.
+  static std::atomic<Hook> replace_before_splice;
+
+  static void Run(const std::atomic<Hook>& site) {
+    if (Hook hook = site.load(std::memory_order_relaxed)) hook();
+  }
+
+  /// RAII installer for one site.
+  class Scoped {
+   public:
+    Scoped(std::atomic<Hook>& site, Hook hook) : site_(site) {
+      site_.store(hook, std::memory_order_relaxed);
+    }
+    ~Scoped() { site_.store(nullptr, std::memory_order_relaxed); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    std::atomic<Hook>& site_;
+  };
+};
+
+inline std::atomic<TestHooks::Hook> TestHooks::put_before_version_cas{nullptr};
+inline std::atomic<TestHooks::Hook> TestHooks::rebalance_after_freeze{nullptr};
+inline std::atomic<TestHooks::Hook> TestHooks::replace_before_splice{nullptr};
+
+}  // namespace kiwi

@@ -1,0 +1,40 @@
+// Stable small thread ids.
+//
+// KiWi's pending put array (PPA, one per chunk) and pending scan array (PSA,
+// global) are indexed by thread: `ppa[NUM_THREADS]` in Algorithm 1.  C++
+// std::thread::id is neither small nor dense, so this registry hands out
+// slots in [0, kMaxThreads) on a thread's first map access and recycles the
+// slot when the thread exits (via a thread_local destructor).
+//
+// Slot recycling is safe for the PPA/PSA protocols because a thread always
+// clears its entries before finishing an operation, and a thread only exits
+// between operations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/config.h"
+
+namespace kiwi {
+
+class ThreadRegistry {
+ public:
+  /// The calling thread's slot, assigned on first use.  Aborts if more than
+  /// kMaxThreads threads are simultaneously registered.
+  static std::size_t CurrentSlot();
+
+  /// Number of slots ever handed out simultaneously (high-water mark).
+  /// Arrays indexed by slot may be scanned up to this bound instead of
+  /// kMaxThreads.
+  static std::size_t HighWater();
+
+  /// Test hook: true if the calling thread currently holds a slot.
+  static bool IsRegistered();
+
+ private:
+  friend struct ThreadSlotReleaser;
+  static void Release(std::size_t slot);
+};
+
+}  // namespace kiwi

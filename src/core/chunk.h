@@ -1,0 +1,193 @@
+// The KiWi chunk (paper Algorithm 1, Figure 1).
+//
+// A chunk owns a contiguous key range [min_key, next->min_key) and stores its
+// data in two arrays:
+//   - `k`: cells forming an intra-chunk linked list sorted by
+//     (key ascending, version descending, valPtr descending);
+//   - `v`: the values cells point into (`valPtr`), preserving the paper's
+//     indirection so that puts with equal {key, version} are tie-broken by
+//     their fetch-and-added value location.
+//
+// A prefix of `k` (the *batched prefix*) is sorted and binary-searchable;
+// later insertions link new cells into the list via bypasses, so searches are
+// binary over the prefix + linear over the remainder.
+//
+// Each chunk carries a Pending Put Array (PPA) with one slot per thread.  A
+// put publishes the cell it is inserting there *before* acquiring a version,
+// which lets scans/gets help assign versions (§3.2) and lets rebalance freeze
+// the chunk (§3.3.2 stage 2).  Slot state is a single 64-bit word packing
+// {version:48, cellIdx:16} so the helping CAS covers both fields.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "common/marked_ptr.h"
+#include "core/version.h"
+
+namespace kiwi::core {
+
+struct RebalanceObject;
+
+class Chunk {
+ public:
+  enum class Status : std::uint32_t {
+    kInfant,   // created by rebalance, immutable until normalize
+    kNormal,   // mutable
+    kFrozen,   // engaged in rebalance, immutable forever
+    kSentinel  // the permanent list head; holds no data, never engaged
+  };
+
+  /// Terminator / "no cell" marker for intra-chunk list links.
+  static constexpr std::int32_t kNullIdx = -1;
+
+  // ---- PPA word packing: [version:48 | idx:16] -------------------------
+  static constexpr std::uint64_t kPpaIdxMask = 0xFFFF;
+  static constexpr std::uint32_t kPpaNoIdx = 0xFFFF;
+  static constexpr Version kPpaVerBottom = 0;
+  static constexpr Version kPpaVerFrozen = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kPpaIdle =
+      (kPpaVerBottom << 16) | kPpaNoIdx;  // {⊥, ⊥}
+
+  static constexpr std::uint64_t PackPpa(Version ver, std::uint32_t idx) {
+    return (ver << 16) | (idx & kPpaIdxMask);
+  }
+  static constexpr Version PpaVer(std::uint64_t word) { return word >> 16; }
+  static constexpr std::uint32_t PpaIdx(std::uint64_t word) {
+    return static_cast<std::uint32_t>(word & kPpaIdxMask);
+  }
+
+  /// One entry of array `k`.
+  struct Cell {
+    Key key = 0;
+    /// Written once by the owning put (copied from its PPA slot) before the
+    /// cell is linked; read only through the PPA or after the linking CAS.
+    Version version = kNoVersion;
+    /// Index into `v`.  CAS target: a put that lost the {key, version} race
+    /// redirects the winning cell to its (larger-indexed) value.
+    std::atomic<std::int32_t> val_ptr{kNullIdx};
+    /// Next cell in the intra-chunk list, kNullIdx at the tail.
+    std::atomic<std::int32_t> next{kNullIdx};
+  };
+
+  /// An entry harvested from the chunk for rebalance or scan merging.
+  struct Item {
+    Key key;
+    Version version;
+    std::int32_t val_ptr;
+    Value value;
+  };
+
+  /// The total order used everywhere: key ascending, version descending,
+  /// valPtr descending (larger valPtr wins a {key, version} tie, §3.2).
+  static bool ItemBefore(const Item& a, const Item& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.version != b.version) return a.version > b.version;
+    return a.val_ptr > b.val_ptr;
+  }
+
+  /// Creates a chunk with room for `capacity` data cells.  Cell 0 is a list
+  /// head sentinel, so `k` holds capacity + 1 cells.  `batched` (sorted by
+  /// key asc, version desc) seeds the batched prefix; rebalance passes the
+  /// compacted data here, the initial chunk passes nothing.
+  Chunk(Key min_key, std::uint32_t capacity, Chunk* parent, Status status,
+        std::span<const Item> batched = {});
+
+  /// Drops the chunk's reference on its rebalance object, if engaged (see
+  /// rebalance_object.h for the lifetime story).
+  ~Chunk();
+
+  // ---- immutable identity ---------------------------------------------
+  const Key min_key;
+  const std::uint32_t capacity;
+  /// Trigger chunk of the rebalance that created this chunk (for infants).
+  Chunk* const parent;
+
+  // ---- shared mutable state -------------------------------------------
+  std::atomic<Status> status;
+  std::atomic<RebalanceObject*> ro{nullptr};
+  /// Next chunk in the global list; the mark freezes it (rebalance stage 5).
+  AtomicMarkedPtr<Chunk> next;
+  /// Next free cell in `k` / value slot in `v`.  May exceed capacity; the
+  /// allocation checks in Put handle overflow by rebalancing.
+  std::atomic<std::uint32_t> k_counter;
+  std::atomic<std::uint32_t> v_counter;
+  /// Number of sorted data cells at the front of `k` (immutable).
+  const std::uint32_t batched_count;
+
+  std::unique_ptr<Cell[]> k;   // [0] = sentinel, data in [1, capacity]
+  std::unique_ptr<Value[]> v;  // data value slots [0, capacity)
+  std::atomic<std::uint64_t> ppa[kMaxThreads];
+
+  // ---- intra-chunk operations -----------------------------------------
+
+  Chunk* Next() const { return next.Load().Ptr(); }
+
+  /// True if `key` falls inside this chunk's range given its current next.
+  bool CoversKey(Key key) const {
+    if (key < min_key) return false;
+    const Chunk* succ = Next();
+    return succ == nullptr || key < succ->min_key;
+  }
+
+  /// Index of the last *batched-prefix* cell with key < `key` (possibly the
+  /// cell-0 sentinel).  Starting point for list traversals.
+  std::int32_t BatchedPredecessor(Key key) const;
+
+  /// Walk the list for the cell with exactly {key, version}.  On miss,
+  /// reports the insertion point: *pred is the cell after which {key,
+  /// version} belongs and *succ the cell that currently follows it (the
+  /// exact expected value for the linking CAS; kNullIdx at the tail).
+  /// Returns kNullIdx on miss, the cell index on hit.
+  std::int32_t FindCell(Key key, Version version, std::int32_t* pred,
+                        std::int32_t* succ) const;
+
+  /// Latest visible version of `key` with version <= `max_version`,
+  /// considering both the linked list and versioned PPA entries
+  /// (paper's findLatest).  Returns false if no such version exists.
+  /// Tombstones are reported with found=true and is_tombstone=true.
+  struct LatestResult {
+    bool found = false;
+    bool is_tombstone = false;
+    Value value = 0;
+    Version version = kNoVersion;
+    std::int32_t val_ptr = kNullIdx;
+  };
+  LatestResult FindLatest(Key key, Version max_version) const;
+
+  /// Paper's helpPendingPuts: install the current GV into every pending,
+  /// versionless PPA entry whose key is within [from, to].
+  void HelpPendingPuts(GlobalVersion& gv, Key from, Key to);
+
+  /// Freeze every PPA slot that has no version yet (rebalance stage 2).
+  void FreezePpa();
+
+  /// Allocated data-cell count (includes cells that lost races; an upper
+  /// bound on live entries, used by the rebalance policy).
+  std::uint32_t AllocatedCells() const {
+    const std::uint32_t counter = k_counter.load(std::memory_order_acquire);
+    return (counter > capacity ? capacity : counter - 1);
+  }
+
+  /// Approximate bytes owned by this chunk (memory-footprint bench).
+  std::size_t MemoryFootprint() const;
+
+  /// Harvest every list cell plus every *versioned* PPA entry, sorted by
+  /// (key asc, version desc, valPtr desc) and deduplicated; used by
+  /// rebalance's build stage and by tests.
+  void CollectItems(std::vector<Item>& out) const;
+
+  /// Append versioned PPA entries with key in [from, to] and version <=
+  /// max_version to `out` (unsorted).  Scans use this to merge pending puts
+  /// with the list; must run *before* the list pass (see FindLatest).
+  void CollectPpaItems(std::vector<Item>& out, Key from, Key to,
+                       Version max_version) const;
+
+  friend class KiWiMap;
+};
+
+}  // namespace kiwi::core

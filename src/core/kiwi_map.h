@@ -1,0 +1,265 @@
+// KiWiMap — the paper's contribution: a linearizable ordered key-value map
+// with wait-free gets and scans and lock-free puts (paper §3).
+//
+//   KiWiMap map;
+//   map.Put(17, 1);
+//   map.Scan(0, 100, [](Key k, Value v) { ... });   // atomic snapshot
+//
+// Design recap:
+//  * Data lives in chunks (contiguous key ranges) strung on a sorted linked
+//    list behind a lazy index; see chunk.h.
+//  * Scans drive multi-versioning: a scan fetch-and-increments the global
+//    version GV and reads at that version; puts reuse the current GV value,
+//    overwriting same-version data in place, so version bookkeeping costs
+//    fall on (long, rare) scans instead of (short, frequent) puts.
+//  * Scans/gets help pending puts acquire versions through the per-chunk
+//    PPA, making put ordering consistent across readers.
+//  * A background-free rebalance procedure (triggered by puts, executed by
+//    whoever trips it, helped by anyone who bumps into it) compacts, splits
+//    and merges chunks in seven idempotent stages (§3.3.2).
+//  * Disconnected chunks are reclaimed through epoch-based reclamation.
+//
+// Thread safety: all public methods may be called from any number of threads
+// concurrently (at most kMaxThreads distinct threads over the map lifetime
+// at once).  Get/Scan are wait-free, Put/Remove lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/random.h"
+#include "core/chunk.h"
+#include "core/policy.h"
+#include "core/rebalance_object.h"
+#include "core/version.h"
+#include "index/chunk_index.h"
+#include "reclaim/ebr.h"
+
+namespace kiwi::core {
+
+/// Operational counters, exposed for tests, benches and curiosity.
+struct KiWiStats {
+  std::uint64_t rebalances = 0;        // rebalance executions (incl. helpers)
+  std::uint64_t rebalance_wins = 0;    // replace-stage CAS wins
+  std::uint64_t put_restarts = 0;      // puts restarted by rebalance
+  std::uint64_t chunks_created = 0;
+  std::uint64_t chunks_retired = 0;
+  std::uint64_t puts_piggybacked = 0;  // puts completed inside a rebalance
+  std::uint64_t puts_helped = 0;       // version installed by a scan/get
+};
+
+class KiWiMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  explicit KiWiMap(KiWiConfig config = {});
+
+  /// Bulk-load construction: builds chunks directly from `sorted_entries`
+  /// (strictly ascending keys, no tombstones) without going through Put —
+  /// O(n) instead of O(n log n) with rebalance churn.  Useful for loading
+  /// datasets before a benchmark or restoring a backup.
+  explicit KiWiMap(std::span<const Entry> sorted_entries,
+                   KiWiConfig config = {});
+
+  ~KiWiMap();
+  KiWiMap(const KiWiMap&) = delete;
+  KiWiMap& operator=(const KiWiMap&) = delete;
+
+  /// Insert or overwrite.  Lock-free.  `key` must be >= kMinUserKey and
+  /// `value` must not be kTombstoneValue.
+  void Put(Key key, Value value);
+
+  /// Remove `key` (puts the tombstone, paper's put(⊥)).  Lock-free.
+  void Remove(Key key);
+
+  /// Latest value of `key`, or nullopt.  Wait-free, linearizable.
+  std::optional<Value> Get(Key key);
+
+  /// Atomic snapshot of [from_key, to_key] (inclusive), in ascending key
+  /// order.  Wait-free, linearizable.  Returns the number of pairs yielded.
+  std::size_t Scan(Key from_key, Key to_key,
+                   const std::function<void(Key, Value)>& yield);
+
+  /// Convenience overload collecting into a vector (cleared first).
+  std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out);
+
+  /// A consistent read view: one scan read-point held open across any
+  /// number of gets and range reads (an extension the paper's design makes
+  /// natural — a snapshot IS a pinned PSA entry).  All queries through one
+  /// Snapshot observe the same linearization point; writers proceed
+  /// unimpeded but their updates are invisible to the view.  The pinned
+  /// version blocks compaction of data the view may still need, so keep
+  /// snapshots shorter than, say, minutes under heavy overwrite load.
+  ///
+  /// Thread safety: a Snapshot must be created and destroyed by the same
+  /// thread and used only by it; each thread may hold up to
+  /// kMaxSnapshotsPerThread simultaneously open snapshots per map.
+  class Snapshot {
+   public:
+    explicit Snapshot(KiWiMap& map);
+    ~Snapshot();
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    /// Value of `key` as of the snapshot's read point.
+    std::optional<Value> Get(Key key);
+
+    /// Range read at the snapshot's read point.
+    std::size_t Scan(Key from_key, Key to_key,
+                     const std::function<void(Key, Value)>& yield);
+    std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out);
+
+    /// The pinned version (diagnostics).
+    Version ReadPoint() const { return read_point_; }
+
+   private:
+    KiWiMap& map_;
+    Version read_point_;
+    std::uint64_t seq_;
+    std::size_t slot_;
+    std::size_t sub_slot_;
+  };
+
+  /// Simultaneously open Snapshot views allowed per thread.
+  static constexpr std::size_t kMaxSnapshotsPerThread = 4;
+
+  /// Number of live keys — O(n), implemented as a full scan.
+  std::size_t Size();
+
+  /// Approximate bytes held by chunks + index (Figure 5 metric).
+  std::size_t MemoryFootprint();
+
+  /// Number of chunks currently in the list (incl. sentinel).  O(#chunks).
+  std::size_t ChunkCount();
+
+  /// Snapshot of operational counters (sums over threads; approximate
+  /// under concurrency).
+  KiWiStats Stats() const;
+
+  /// Structural report over the current chunk list (quiescent callers get
+  /// exact numbers; concurrent callers a consistent-enough estimate).
+  struct StructureReport {
+    std::size_t data_chunks = 0;
+    std::size_t allocated_cells = 0;   // cells handed out across chunks
+    std::size_t batched_cells = 0;     // cells in sorted prefixes
+    double avg_fill = 0;               // allocated / capacity, averaged
+    double avg_batched_ratio = 0;      // batched / allocated, averaged
+  };
+  StructureReport Report();
+
+  const KiWiConfig& Config() const { return policy_.config(); }
+
+  /// Test/diagnostic hook: run a full rebalance over every chunk, forcing
+  /// compaction of obsolete versions.  Quiescent callers only.
+  void CompactAll();
+
+  /// Validate structural invariants (sorted chunk list, in-chunk order,
+  /// ranges).  Quiescent callers only; aborts on violation.  Test hook.
+  void CheckInvariants();
+
+  /// Quiescent-only: release every retired chunk (the paper's "full GC"
+  /// point before measuring RAM, Figure 5).
+  void DrainReclamation() { ebr_.CollectAllQuiescent(); }
+
+  /// Reclamation diagnostics.
+  const reclaim::Ebr& Reclaimer() const { return ebr_; }
+
+ private:
+  /// Shared body of Put and Remove (a remove is a put of the tombstone).
+  void PutImpl(Key key, Value value);
+
+  struct BuiltSection {
+    Chunk* first = nullptr;
+    Chunk* last = nullptr;
+    std::uint32_t count = 0;
+    bool put_included = false;
+  };
+
+  /// Chunk that currently covers `key` (index lookup + list walk).
+  /// Must be called under an EBR guard.
+  Chunk* LocateChunk(Key key) const;
+
+  /// Paper's checkRebalance (Algorithm 3).  Returns true if the put must be
+  /// restarted or was completed; *put_done reports completion (piggyback).
+  bool CheckRebalance(Chunk* chunk, Key key, Value value, bool* put_done);
+
+  /// Paper's rebalance (Algorithm 4 stages 1-5 + normalize).  Returns true
+  /// iff this call's (key, value) was inserted by the rebalance.
+  bool Rebalance(Chunk* chunk, Key key, Value value, bool has_put);
+
+  /// Stage 1: agree on the engaged set; returns the rebalance object and
+  /// the last engaged chunk.
+  RebalanceObject* Engage(Chunk* chunk, Chunk** last_out);
+
+  /// Recompute the last engaged chunk of a sealed rebalance object.
+  Chunk* FindLastEngaged(RebalanceObject* ro) const;
+
+  /// Stage 3: minimal read point any pending/future scan may use, helping
+  /// pending scans whose range overlaps [from, to_exclusive) acquire
+  /// versions.  `bounded` = false means the range extends to +inf.
+  Version ComputeMinVersion(Key from, Key to_exclusive, bool bounded);
+
+  /// Stage 4: build the replacement section from the engaged chunks.
+  BuiltSection BuildSection(RebalanceObject* ro, Chunk* last,
+                            Version min_version, Key put_key, Value put_value,
+                            bool has_put);
+
+  /// Stage 5: consensus + splice.  Returns true once the (agreed)
+  /// replacement section is reachable; *i_won reports whether this thread's
+  /// splice CAS succeeded (the winner retires the old section).
+  bool Replace(RebalanceObject* ro, Chunk* last, bool* i_won);
+
+  /// Stages 6-7 (paper's normalize): fix the index, then flip infants to
+  /// normal.
+  void Normalize(RebalanceObject* ro);
+
+  /// Find the live predecessor of `target` in the chunk list, or nullptr if
+  /// `target` is no longer reachable.
+  Chunk* FindListPredecessor(Chunk* target) const;
+
+  /// Destroy a built-but-never-published section (consensus loser).
+  static void DiscardSection(Chunk* first);
+
+  /// Emit one chunk's contribution to a scan.
+  void EmitChunkRange(Chunk* chunk, Key from, Key to, Version read_point,
+                      const std::function<void(Key, Value)>& yield,
+                      std::size_t* emitted);
+
+  /// Compact a sorted, deduplicated item run according to `min_version`
+  /// (keep everything newer, plus the newest version at-or-below it unless
+  /// that is a tombstone).  Appends survivors of [begin, end) to `out`.
+  static void CompactKeyRun(const std::vector<Chunk::Item>& items,
+                            std::size_t begin, std::size_t end,
+                            Version min_version,
+                            std::vector<Chunk::Item>& out);
+
+  Xoshiro256& ThreadRng();
+
+  RebalancePolicy policy_;
+  mutable reclaim::Ebr ebr_;
+  index::ChunkIndex index_;
+  GlobalVersion gv_;
+  Psa psa_;
+  /// Snapshot views pin their read points here, separately from transient
+  /// scans, so a Scan on the same thread cannot clobber an open Snapshot's
+  /// pin.  One array per snapshot sub-slot; ComputeMinVersion consults all.
+  Psa snapshot_psa_[kMaxSnapshotsPerThread];
+  Chunk* sentinel_;  // permanent list head, never engaged
+
+  // Stats, sharded by thread slot to stay off the hot path's shared state.
+  struct alignas(kCacheLineSize) StatShard {
+    KiWiStats stats;
+  };
+  mutable StatShard stat_shards_[kMaxThreads];
+  KiWiStats& ThreadStats() const;
+
+  friend class KiWiTestPeer;
+};
+
+}  // namespace kiwi::core

@@ -1,0 +1,505 @@
+// KiWi rebalancing (paper §3.3, Algorithms 3-4): the seven idempotent stages
+// that compact, split and merge chunks while puts, gets and scans run.
+//
+//   1. Engage     — consensus (via RebalanceObject) on the chunk sector.
+//   2. Freeze     — make engaged chunks immutable (status + PPA slots).
+//   3. MinVersion — pick the oldest read point any scan may still need,
+//                   helping pending scans acquire versions.
+//   4. Build      — clone live data into fresh infant chunks.
+//   5. Replace    — splice the new sector into the list (mark, then CAS).
+//   6. Index      — lazily unindex old chunks / index new ones.
+//   7. Normalize  — flip infants to normal, re-enabling puts.
+//
+// Every stage is idempotent, so any thread that bumps into an in-flight
+// rebalance can re-run it from the top (lock freedom: progress even if the
+// original thread stalls).
+//
+// Two deliberate deviations from the paper's pseudocode (see DESIGN.md §2):
+//  * completion is recorded in the rebalance object (`done`) instead of the
+//    `pred.next.parent = C` test, which misfires once replacement chunks are
+//    themselves replaced; and the replacement *section* is agreed through a
+//    CAS on `ro->replacement`, so helpers splice one agreed section rather
+//    than racing distinct clones (this also makes put piggybacking sound);
+//  * a tombstone is dropped only when its version is at or below the minimal
+//    read point — the literal pseudocode can drop a value a pending scan
+//    still needs.
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/test_hooks.h"
+#include "common/thread_registry.h"
+#include "core/kiwi_map.h"
+
+namespace kiwi::core {
+
+bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
+                             bool* put_done) {
+  *put_done = false;
+  if (chunk->status.load(std::memory_order_acquire) ==
+      Chunk::Status::kInfant) {
+    // The chunk is not yet writable; finish its parent's rebalance (stages
+    // 6-7 only — reachability implies the replace stage completed) and
+    // restart the put.
+    RebalanceObject* ro = chunk->parent->ro.load(std::memory_order_acquire);
+    KIWI_ASSERT(ro != nullptr, "infant chunk without a parent rebalance");
+    Normalize(ro);
+    return true;
+  }
+  const std::uint32_t allocated = chunk->AllocatedCells();
+  const bool full =
+      chunk->k_counter.load(std::memory_order_acquire) > chunk->capacity ||
+      chunk->v_counter.load(std::memory_order_acquire) >= chunk->capacity;
+  const bool frozen = chunk->status.load(std::memory_order_acquire) ==
+                      Chunk::Status::kFrozen;
+  if (full || frozen ||
+      policy_.ShouldTrigger(allocated, chunk->batched_count, ThreadRng())) {
+    *put_done = Rebalance(chunk, key, value, /*has_put=*/true);
+    if (*put_done) ThreadStats().puts_piggybacked++;
+    return true;
+  }
+  return false;
+}
+
+bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
+  reclaim::EbrGuard guard(ebr_);
+  ThreadStats().rebalances++;
+
+  // ---- stage 1: engage ------------------------------------------------
+  Chunk* last = nullptr;
+  RebalanceObject* ro = Engage(chunk, &last);
+  if (ro == nullptr) return false;  // chunk already replaced; caller restarts
+
+  // ---- stage 2: freeze ------------------------------------------------
+  for (Chunk* c = ro->first;; c = c->Next()) {
+    // Plain store, as in the paper: overwriting kInfant or kNormal with
+    // kFrozen is exactly the intent, and stage 7's CAS(infant -> normal)
+    // fails harmlessly afterwards.
+    c->status.store(Chunk::Status::kFrozen, std::memory_order_seq_cst);
+    c->FreezePpa();
+    if (c == last) break;
+  }
+
+  TestHooks::Run(TestHooks::rebalance_after_freeze);
+
+  // ---- stage 3: minimal version ----------------------------------------
+  // The sector's key range is [first.minKey, succ.minKey); succ's minKey is
+  // invariant even if the successor chunk itself gets replaced (replacement
+  // heads inherit minKey), so this bound is stable.
+  Chunk* succ = last->Next();
+  const Key range_from = ro->first->min_key;
+  const Key range_to = succ != nullptr ? succ->min_key : 0;
+  const Version min_version =
+      ComputeMinVersion(range_from, range_to, /*bounded=*/succ != nullptr);
+
+  // ---- stage 4: build -------------------------------------------------
+  BuiltSection mine =
+      BuildSection(ro, last, min_version, key, value, has_put);
+
+  // ---- stage 5: consensus + splice --------------------------------------
+  Chunk* expected_replacement = nullptr;
+  const bool consensus_winner = ro->replacement.compare_exchange_strong(
+      expected_replacement, mine.first, std::memory_order_seq_cst);
+  if (!consensus_winner) {
+    DiscardSection(mine.first);  // never published
+  }
+  TestHooks::Run(TestHooks::replace_before_splice);
+  bool splice_winner = false;
+  Replace(ro, last, &splice_winner);
+
+  // ---- stages 6-7 -------------------------------------------------------
+  Normalize(ro);
+
+  if (splice_winner) {
+    ThreadStats().rebalance_wins++;
+    // Exactly one thread retires the old sector; concurrent readers inside
+    // it are protected by their EBR guards.  The rebalance object itself is
+    // reference-counted by the engaged chunks and dies with the last of
+    // them (an orphaned chunk may legitimately outlive this rebalance).
+    Chunk* c = ro->first;
+    while (true) {
+      Chunk* next = c->Next();
+      ebr_.RetireObject(c);
+      ThreadStats().chunks_retired++;
+      if (c == last) break;
+      c = next;
+    }
+  }
+
+  return consensus_winner && mine.put_included;
+}
+
+RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
+  RebalanceObject* ro = nullptr;
+  while (true) {
+    RebalanceObject* existing = chunk->ro.load(std::memory_order_acquire);
+    if (existing != nullptr && existing->done.load(std::memory_order_acquire)) {
+      // The chunk's rebalance finished.  Normally that means the chunk was
+      // replaced and the caller should restart — but an engagement that
+      // raced with the sealing CAS can leave a chunk marked with a finished
+      // `ro` while still reachable (see the orphan discussion in DESIGN.md).
+      // Reachable + done ⇒ orphan ⇒ re-engage under a fresh object.
+      if (FindListPredecessor(chunk) == nullptr) return nullptr;  // replaced
+      auto* fresh = new RebalanceObject(chunk, chunk->Next());
+      if (chunk->ro.compare_exchange_strong(existing, fresh,
+                                            std::memory_order_seq_cst)) {
+        // The chunk's reference moved from `existing` to `fresh`; drop the
+        // old one only after every guard that may still be reading it ends.
+        ebr_.Retire(existing, [](void* ro_ptr) {
+          RebalanceObject::Unref(static_cast<RebalanceObject*>(ro_ptr));
+        });
+        ro = fresh;
+        break;
+      }
+      delete fresh;
+      continue;
+    }
+    if (existing == nullptr) {
+      auto* fresh = new RebalanceObject(chunk, chunk->Next());
+      RebalanceObject* expected = nullptr;
+      if (chunk->ro.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_seq_cst)) {
+        ro = fresh;
+        break;
+      }
+      delete fresh;
+      continue;
+    }
+    ro = existing;
+    break;
+  }
+
+  // Engage successors one at a time while the policy approves; the CAS on
+  // ro->next makes the engaged set a consensus among helpers (Invariant 1).
+  std::uint32_t engaged_chunks = 1;
+  std::uint64_t engaged_cells = chunk->AllocatedCells();
+  while (true) {
+    Chunk* next = ro->next.load(std::memory_order_seq_cst);
+    if (next == nullptr) break;  // sealed
+    const bool want =
+        next->status.load(std::memory_order_acquire) !=
+            Chunk::Status::kSentinel &&
+        policy_.ShouldEngageNext(engaged_chunks, engaged_cells,
+                                 next->AllocatedCells());
+    if (want) {
+      RebalanceObject* expected = nullptr;
+      if (next->ro.compare_exchange_strong(expected, ro,
+                                           std::memory_order_seq_cst)) {
+        // Our CAS installed the reference: account for it.
+        RebalanceObject::Ref(ro);
+      }
+      if (next->ro.load(std::memory_order_acquire) == ro) {
+        Chunk* expected_next = next;
+        ro->next.compare_exchange_strong(expected_next, next->Next(),
+                                         std::memory_order_seq_cst);
+        engaged_chunks++;
+        engaged_cells += next->AllocatedCells();
+        continue;
+      }
+    }
+    Chunk* expected_next = next;
+    ro->next.compare_exchange_strong(expected_next, nullptr,
+                                     std::memory_order_seq_cst);
+  }
+
+  *last_out = FindLastEngaged(ro);
+  return ro;
+}
+
+Chunk* KiWiMap::FindLastEngaged(RebalanceObject* ro) const {
+  Chunk* last = ro->first;
+  while (true) {
+    Chunk* next = last->Next();
+    if (next == nullptr || next->ro.load(std::memory_order_acquire) != ro) {
+      return last;
+    }
+    last = next;
+  }
+}
+
+Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
+  // Reading GV *before* the PSA passes is what makes the bound safe: any
+  // scan we fail to observe below publishes its pending entry before its
+  // F&I, so its version is at least this value.
+  Version min_version = gv_.Load();
+
+  struct PendingScan {
+    PsaEntry* entry;
+    std::uint64_t seq;
+  };
+  std::vector<PendingScan> to_help;
+
+  const std::size_t high_water = ThreadRegistry::HighWater();
+  // Transient scans and pinned Snapshot views are tracked in separate
+  // arrays with identical protocols.
+  std::vector<Psa*> arrays{&psa_};
+  for (Psa& snapshot_array : snapshot_psa_) arrays.push_back(&snapshot_array);
+  for (Psa* array : arrays) {
+    for (std::size_t t = 0; t < high_water; ++t) {
+      PsaEntry& entry = array->Slot(t);
+      const PsaEntry::VerSeq vs = entry.Load();
+      if (vs.ver == kNoVersion) continue;
+      const bool overlaps =
+          from <= entry.To() && (!bounded || to_exclusive > entry.From());
+      if (!overlaps) continue;
+      if (vs.ver == kPendingVersion) {
+        to_help.push_back(PendingScan{&entry, vs.seq});
+      } else {
+        min_version = std::min(min_version, vs.ver);
+      }
+    }
+  }
+
+  if (!to_help.empty()) {
+    // One F&I serves every pending scan found (paper lines 91-95).
+    const Version helped_version = gv_.FetchIncrement();
+    for (const PendingScan& p : to_help) {
+      p.entry->HelpInstall(p.seq, helped_version);
+      // Whether our CAS or the scan's own won, account for the installed
+      // version (if the scan has not already finished and moved on).
+      const PsaEntry::VerSeq vs = p.entry->Load();
+      if (vs.seq == p.seq && vs.ver != kNoVersion &&
+          vs.ver != kPendingVersion) {
+        min_version = std::min(min_version, vs.ver);
+      }
+    }
+  }
+  return min_version;
+}
+
+void KiWiMap::CompactKeyRun(const std::vector<Chunk::Item>& items,
+                            std::size_t begin, std::size_t end,
+                            Version min_version,
+                            std::vector<Chunk::Item>& out) {
+  // One key's versions, descending.  Keep everything above min_version
+  // (scans may still need any of them — including tombstones, which must
+  // stay visible so a scan at a later read point does not resurrect older
+  // data).  At or below min_version, only the newest survives, and not even
+  // that if it is a tombstone (nobody can read below min_version anymore).
+  Version previous = kPendingVersion;  // larger than any real version
+  for (std::size_t i = begin; i < end; ++i) {
+    const Chunk::Item& item = items[i];
+    if (item.version == previous) continue;  // {key,version} tie loser
+    previous = item.version;
+    if (item.version > min_version) {
+      out.push_back(item);
+      continue;
+    }
+    if (item.value != kTombstoneValue) out.push_back(item);
+    break;
+  }
+}
+
+KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
+                                            Version min_version, Key put_key,
+                                            Value put_value, bool has_put) {
+  // Harvest the engaged sector.  Chunks hold ascending disjoint ranges and
+  // CollectItems sorts within a chunk, so concatenation is globally sorted.
+  std::vector<Chunk::Item> items;
+  for (Chunk* c = ro->first;; c = c->Next()) {
+    c->CollectItems(items);
+    if (c == last) break;
+  }
+
+  bool put_included = false;
+  if (has_put && policy_.config().enable_put_piggyback) {
+    Chunk* succ = last->Next();
+    const bool covered = put_key >= ro->first->min_key &&
+                         (succ == nullptr || put_key < succ->min_key);
+    if (covered) {
+      // INT32_MAX as the value location: the piggybacked put wins any
+      // {key, version} tie against sector-internal data.
+      const Chunk::Item item{put_key, gv_.Load(),
+                             std::numeric_limits<std::int32_t>::max(),
+                             put_value};
+      items.insert(
+          std::upper_bound(items.begin(), items.end(), item,
+                           Chunk::ItemBefore),
+          item);
+      put_included = true;
+    }
+  }
+
+  // Compact per key run.
+  std::vector<Chunk::Item> kept;
+  kept.reserve(items.size());
+  std::size_t run_begin = 0;
+  for (std::size_t i = 1; i <= items.size(); ++i) {
+    if (i == items.size() || items[i].key != items[run_begin].key) {
+      CompactKeyRun(items, run_begin, i, min_version, kept);
+      run_begin = i;
+    }
+  }
+
+  // Carve into infant chunks, filled to fill_ratio, never splitting one
+  // key's version run across a boundary (a get must find every version of
+  // its key in the single chunk covering it).
+  const std::uint32_t capacity = policy_.config().chunk_capacity;
+  const std::uint32_t fill = std::clamp<std::uint32_t>(
+      static_cast<std::uint32_t>(policy_.config().fill_ratio * capacity), 1,
+      capacity);
+  const std::uint32_t sparse = static_cast<std::uint32_t>(
+      policy_.config().sparse_ratio * capacity);
+
+  std::vector<std::pair<std::size_t, std::size_t>> segments;  // [begin, end)
+  std::size_t begin = 0;
+  while (begin < kept.size()) {
+    std::size_t end = std::min(begin + fill, kept.size());
+    // Extend to the end of the key run straddling the boundary.
+    while (end < kept.size() && kept[end].key == kept[end - 1].key) ++end;
+    KIWI_ASSERT(end - begin <= capacity,
+                "one key's version run exceeds a whole chunk");
+    segments.emplace_back(begin, end);
+    begin = end;
+  }
+  // Fold a too-sparse trailing chunk into its predecessor when it fits.
+  if (segments.size() >= 2) {
+    auto& tail = segments.back();
+    auto& prev = segments[segments.size() - 2];
+    if (tail.second - tail.first < sparse &&
+        tail.second - prev.first <= capacity) {
+      prev.second = tail.second;
+      segments.pop_back();
+    }
+  }
+  if (segments.empty()) segments.emplace_back(0, 0);  // keep >= 1 chunk
+
+  BuiltSection section;
+  Chunk* prev_chunk = nullptr;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto [seg_begin, seg_end] = segments[s];
+    // The first chunk inherits the sector's minKey so the covered range is
+    // exactly preserved; later chunks start at their first key.
+    const Key min_key =
+        s == 0 ? ro->first->min_key : kept[seg_begin].key;
+    auto* chunk = new Chunk(
+        min_key, capacity, ro->first, Chunk::Status::kInfant,
+        std::span<const Chunk::Item>(kept.data() + seg_begin,
+                                     seg_end - seg_begin));
+    ThreadStats().chunks_created++;
+    if (prev_chunk != nullptr) {
+      prev_chunk->next.Store(MarkedPtr<Chunk>(chunk, false));
+    } else {
+      section.first = chunk;
+    }
+    prev_chunk = chunk;
+    section.count++;
+  }
+  section.last = prev_chunk;
+  section.put_included = put_included;
+  return section;
+}
+
+bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
+  *i_won = false;
+  Chunk* replacement = ro->replacement.load(std::memory_order_acquire);
+  KIWI_ASSERT(replacement != nullptr, "replace before consensus");
+
+  while (true) {
+    if (ro->done.load(std::memory_order_acquire)) return true;
+
+    // Step 1: make last's next immutable so every helper stitches the same
+    // successor.
+    MarkedPtr<Chunk> succ = last->next.Load();
+    while (!succ.Mark()) {
+      last->next.CompareExchange(succ, MarkedPtr<Chunk>(succ.Ptr(), true));
+      succ = last->next.Load();
+    }
+
+    // Step 2: point the replacement tail at that successor (idempotent: the
+    // tail's next is CASed from null exactly once).
+    Chunk* tail = replacement;
+    while (true) {
+      Chunk* next = tail->Next();
+      if (next == nullptr || next->parent != ro->first) break;
+      tail = next;
+    }
+    MarkedPtr<Chunk> null_next(nullptr, false);
+    tail->next.CompareExchange(null_next, MarkedPtr<Chunk>(succ.Ptr(), false));
+
+    // Step 3: swing the predecessor of the old sector to the new one.
+    Chunk* pred = FindListPredecessor(ro->first);
+    if (pred == nullptr) {
+      // The old sector is no longer reachable: someone completed the splice.
+      return true;
+    }
+    MarkedPtr<Chunk> expected(ro->first, false);
+    if (pred->next.CompareExchange(expected,
+                                   MarkedPtr<Chunk>(replacement, false))) {
+      ro->done.store(true, std::memory_order_seq_cst);
+      *i_won = true;
+      return true;
+    }
+
+    // CAS failed.  If pred's next is marked while still aiming at our
+    // sector, pred is the last engaged chunk of another rebalance: help it
+    // to completion, then retry with the fresh predecessor (paper line 123).
+    const MarkedPtr<Chunk> current = pred->next.Load();
+    if (current.Ptr() == ro->first && current.Mark()) {
+      Rebalance(pred, 0, 0, /*has_put=*/false);
+    }
+    // Otherwise the list moved under us; loop to re-find the predecessor.
+  }
+}
+
+void KiWiMap::Normalize(RebalanceObject* ro) {
+  reclaim::EbrGuard guard(ebr_);
+  // ---- stage 6: index update -----------------------------------------
+  // Unindex the engaged chunks (walk by ro membership)...
+  for (Chunk* c = ro->first;
+       c != nullptr && c->ro.load(std::memory_order_acquire) == ro;
+       c = c->Next()) {
+    index_.DeleteConditional(c->min_key, c);
+  }
+  // ...then index the replacement chunks (walk by parentage).  A chunk that
+  // froze in the meantime was already superseded — never re-index it.
+  Chunk* replacement = ro->replacement.load(std::memory_order_acquire);
+  KIWI_ASSERT(replacement != nullptr, "normalize before consensus");
+  for (Chunk* c = replacement; c != nullptr && c->parent == ro->first;
+       c = c->Next()) {
+    while (true) {
+      index::ChunkIndex::Handle prev = index_.LoadPrev(c->min_key);
+      if (c->status.load(std::memory_order_seq_cst) ==
+          Chunk::Status::kFrozen) {
+        break;
+      }
+      if (index_.PutConditional(c->min_key, prev, c)) break;
+    }
+  }
+  // ---- stage 7: normalize ---------------------------------------------
+  for (Chunk* c = replacement; c != nullptr && c->parent == ro->first;
+       c = c->Next()) {
+    Chunk::Status expected = Chunk::Status::kInfant;
+    c->status.compare_exchange_strong(expected, Chunk::Status::kNormal,
+                                      std::memory_order_seq_cst);
+  }
+}
+
+Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
+  // target->min_key >= kMinUserKey > kMinKeySentinel, so the lookup key is
+  // valid and at worst resolves to the sentinel.
+  auto* c = static_cast<Chunk*>(index_.Lookup(target->min_key - 1));
+  if (c == nullptr) c = sentinel_;
+  while (c != nullptr) {
+    const MarkedPtr<Chunk> m = c->next.Load();
+    Chunk* next = m.Ptr();
+    if (next == target) return c;
+    // minKeys never decrease along next pointers; passing target's minKey
+    // without meeting it means it is unreachable.  Equal minKeys (a
+    // replacement head) are walked through.
+    if (next == nullptr || next->min_key > target->min_key) return nullptr;
+    c = next;
+  }
+  return nullptr;
+}
+
+void KiWiMap::DiscardSection(Chunk* first) {
+  // A consensus-losing section was never visible to anyone: plain delete.
+  while (first != nullptr) {
+    Chunk* next = first->Next();
+    delete first;
+    first = next;
+  }
+}
+
+}  // namespace kiwi::core

@@ -1,0 +1,49 @@
+// The rebalance consensus object (paper §3.3.2 stage 1).
+//
+// Lifetime: a RebalanceObject is referenced by every chunk engaged in its
+// rebalance (each chunk's `ro` pointer, set by exactly one successful CAS).
+// Those chunks die at different times — and, in the orphaned-engagement
+// race (DESIGN.md §2.7), one of them can outlive the rebalance arbitrarily —
+// so the object is reference-counted by its holders: each engaging CAS adds
+// a reference, each Chunk destructor (or deferred orphan re-engagement)
+// drops one, and the last drop deletes.  Transient raw uses (helpers reading
+// `ro` fields mid-rebalance) are covered by the EBR guard they already hold:
+// the referencing chunk cannot be freed under their guard, so neither can
+// the count reach zero.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kiwi::core {
+
+class Chunk;
+
+struct RebalanceObject {
+  RebalanceObject(Chunk* first_chunk, Chunk* next_candidate)
+      : first(first_chunk), next(next_candidate) {}
+
+  /// The trigger chunk; engagement grows forward from here.
+  Chunk* const first;
+  /// Next chunk to consider engaging; nullptr once engagement is sealed.
+  std::atomic<Chunk*> next;
+  /// Consensus on the replacement section: first competing builder to CAS
+  /// its section here wins; everyone splices *this* section.
+  std::atomic<Chunk*> replacement{nullptr};
+  /// Set once the replacement section has been spliced into the list.
+  std::atomic<bool> done{false};
+  /// Holders: chunks whose `ro` pointer targets this object.  Starts at 1
+  /// for the trigger chunk (the creating CAS).
+  std::atomic<std::uint32_t> refs{1};
+
+  static void Ref(RebalanceObject* ro) {
+    ro->refs.fetch_add(1, std::memory_order_acq_rel);
+  }
+  static void Unref(RebalanceObject* ro) {
+    if (ro->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete ro;
+    }
+  }
+};
+
+}  // namespace kiwi::core

@@ -1,0 +1,12 @@
+#include "core/version.h"
+
+namespace kiwi::core {
+
+bool PsaPairIsLockFree() {
+  // Whether the 16-byte {version, sequence} CAS compiles to cmpxchg16b
+  // (with -mcx16) or falls back to libatomic's locked path.  Correctness is
+  // unaffected either way; exposed for diagnostics and the feature bench.
+  return std::atomic<PsaEntry::VerSeq>{}.is_lock_free();
+}
+
+}  // namespace kiwi::core

@@ -1,0 +1,111 @@
+#include "harness/linearizability.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace kiwi::harness {
+
+namespace {
+
+/// Register state is fully determined by the last applied write/remove (or
+/// the initial state); reads do not change it.  The search therefore
+/// memoizes (applied-set, index-of-last-mutator) pairs.
+struct SearchState {
+  std::uint64_t applied_mask;
+  int last_mutator;  // -1 = initial state
+
+  bool operator==(const SearchState&) const = default;
+};
+
+struct SearchStateHash {
+  std::size_t operator()(const SearchState& s) const {
+    return std::hash<std::uint64_t>()(s.applied_mask * 31 +
+                                      static_cast<std::uint64_t>(
+                                          s.last_mutator + 1));
+  }
+};
+
+class Checker {
+ public:
+  Checker(const std::vector<LinOp>& history, bool initially_present,
+          Value initial_value)
+      : history_(history),
+        initially_present_(initially_present),
+        initial_value_(initial_value) {}
+
+  bool Run() {
+    return Search(SearchState{0, -1});
+  }
+
+ private:
+  bool RegisterPresent(int last_mutator) const {
+    if (last_mutator < 0) return initially_present_;
+    return history_[last_mutator].kind == LinOp::Kind::kWrite;
+  }
+
+  Value RegisterValue(int last_mutator) const {
+    if (last_mutator < 0) return initial_value_;
+    return history_[last_mutator].value;
+  }
+
+  bool Search(SearchState state) {
+    const std::size_t n = history_.size();
+    if (state.applied_mask == (std::uint64_t{1} << n) - 1) return true;
+    if (visited_.contains(state)) return false;
+    visited_.insert(state);
+
+    // An op may be linearized next iff every other *pending* op's response
+    // is not strictly before its invoke (i.e. nothing pending must come
+    // first in real time).
+    std::uint64_t min_pending_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((state.applied_mask >> i) & 1) continue;
+      min_pending_response =
+          std::min(min_pending_response, history_[i].response);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((state.applied_mask >> i) & 1) continue;
+      const LinOp& op = history_[i];
+      if (op.invoke > min_pending_response) continue;  // someone must precede
+      SearchState next = state;
+      next.applied_mask |= (std::uint64_t{1} << i);
+      switch (op.kind) {
+        case LinOp::Kind::kWrite:
+        case LinOp::Kind::kRemove:
+          next.last_mutator = static_cast<int>(i);
+          break;
+        case LinOp::Kind::kRead: {
+          const bool present = RegisterPresent(state.last_mutator);
+          if (op.found != present) continue;
+          if (present && op.value != RegisterValue(state.last_mutator)) {
+            continue;
+          }
+          break;
+        }
+      }
+      if (Search(next)) return true;
+    }
+    return false;
+  }
+
+  const std::vector<LinOp>& history_;
+  const bool initially_present_;
+  const Value initial_value_;
+  std::unordered_set<SearchState, SearchStateHash> visited_;
+};
+
+}  // namespace
+
+bool IsLinearizableRegisterHistory(const std::vector<LinOp>& history,
+                                   bool initially_present,
+                                   Value initial_value) {
+  KIWI_ASSERT(history.size() <= 63, "history too large for bitmask search");
+  for (const LinOp& op : history) {
+    KIWI_ASSERT(op.invoke < op.response, "malformed operation interval");
+  }
+  return Checker(history, initially_present, initial_value).Run();
+}
+
+}  // namespace kiwi::harness

@@ -1,0 +1,50 @@
+#include "harness/metrics.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace kiwi::harness {
+
+void EmitCsv(const std::string& figure, const std::string& series, double x,
+             double y, const std::string& unit) {
+  std::printf("csv,%s,%s,%.6g,%.6g,%s\n", figure.c_str(), series.c_str(), x,
+              y, unit.c_str());
+  std::fflush(stdout);
+}
+
+void Note(const std::string& text) {
+  std::printf("# %s\n", text.c_str());
+  std::fflush(stdout);
+}
+
+std::string FormatMps(double per_sec) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f M/s", per_sec / 1e6);
+  return buffer;
+}
+
+std::string FormatMb(std::size_t bytes) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f MB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buffer;
+}
+
+bool ParseUintList(const std::string& text, std::vector<std::uint64_t>* out) {
+  out->clear();
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end == begin) return false;
+    char* parse_end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str() + begin, &parse_end, 10);
+    if (parse_end != text.c_str() + end) return false;
+    out->push_back(value);
+    begin = end + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace kiwi::harness

@@ -1,0 +1,31 @@
+// Reporting helpers shared by the benches: CSV rows mirroring the paper's
+// figure axes plus human-readable summaries.
+//
+// Every figure bench emits lines of the form
+//   csv,<figure>,<series>,<x>,<y>,<unit>
+// so plots can be regenerated with a one-line grep + any plotting tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kiwi::harness {
+
+/// Emit one CSV data point to stdout.
+void EmitCsv(const std::string& figure, const std::string& series,
+             double x, double y, const std::string& unit);
+
+/// Emit a human-readable line (prefixed for easy filtering).
+void Note(const std::string& text);
+
+/// Pretty-print a throughput in M ops or keys per second.
+std::string FormatMps(double per_sec);
+
+/// Pretty-print a byte count (MB with two decimals).
+std::string FormatMb(std::size_t bytes);
+
+/// Parse "a,b,c" into integers (bench CLI helper).
+bool ParseUintList(const std::string& text, std::vector<std::uint64_t>* out);
+
+}  // namespace kiwi::harness

@@ -1,0 +1,98 @@
+// The auxiliary chunk index (paper §3.1, §3.3.2 stage 6).
+//
+// Maps minKey -> chunk.  The index is an *accelerator*, not the source of
+// truth: it may lag behind the chunk linked list (updates are lazy, done only
+// by rebalance), so every user of Lookup must continue with a traversal of
+// the chunk list.  Required API, from the paper:
+//
+//   - Lookup(k)/LoadPrev(k): wait-free; the chunk mapped to the highest
+//     indexed key that does not exceed k.
+//   - PutConditional(k, prev, c): map k to c provided the highest indexed
+//     key not exceeding k is currently mapped to prev (semantic LL/SC).
+//   - DeleteConditional(k, c): remove k only if currently mapped to c.
+//
+// "Such an index can be implemented in non-blocking ways using low-level
+// atomic operations; in our implementation, we instead use locks."  We do
+// the same: a skiplist whose readers are lock-free (per-level atomic next
+// pointers, no helping required) and whose writers serialize on one mutex —
+// index writes happen only during rebalance, which is rare by design.
+//
+// Readers may hold references to nodes a concurrent writer unlinks, so
+// unlinked nodes are retired through the owning map's EBR domain; callers
+// must invoke Lookup/LoadPrev inside an EbrGuard.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "common/config.h"
+#include "common/random.h"
+#include "reclaim/ebr.h"
+
+namespace kiwi::index {
+
+class ChunkIndex {
+ public:
+  /// Opaque handle to whatever the index maps to (the core stores Chunk*).
+  using Handle = void*;
+
+  explicit ChunkIndex(reclaim::Ebr& ebr);
+  ~ChunkIndex();
+  ChunkIndex(const ChunkIndex&) = delete;
+  ChunkIndex& operator=(const ChunkIndex&) = delete;
+
+  /// Wait-free: handle mapped to the highest indexed key <= key, or nullptr
+  /// if no such key is indexed.  Must be called inside an EbrGuard.
+  Handle Lookup(Key key) const;
+
+  /// Paper name for the same query, used by the normalize stage.
+  Handle LoadPrev(Key key) const { return Lookup(key); }
+
+  /// Insert/overwrite the mapping key -> handle iff Lookup(key) would
+  /// currently return prev.  Returns true on success.
+  bool PutConditional(Key key, Handle prev, Handle handle);
+
+  /// Remove key iff it is currently mapped to handle.  Returns true if the
+  /// mapping was removed (also true if the key was already absent, which is
+  /// an idempotent success for rebalance retries).
+  bool DeleteConditional(Key key, Handle handle);
+
+  /// Unconditional insert, used only for initial construction.
+  void PutUnconditional(Key key, Handle handle);
+
+  /// Number of indexed entries (approximate under concurrency).
+  std::size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Approximate bytes held by index nodes, for the memory-footprint bench.
+  std::size_t MemoryFootprint() const;
+
+ private:
+  static constexpr int kMaxHeight = 20;
+
+  struct Node {
+    Key key;
+    std::atomic<Handle> handle;
+    int height;
+    std::atomic<Node*> next[kMaxHeight];
+
+    Node(Key k, Handle h, int ht) : key(k), handle(h), height(ht) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  /// Greatest node with key <= target (never the head sentinel), or nullptr.
+  /// Also fills preds[level] = last node with key < target at each level
+  /// when preds != nullptr (writer path, called under lock).
+  Node* FindLessOrEqual(Key key, Node** preds) const;
+
+  int RandomHeight();
+
+  Node* head_;  // sentinel, key irrelevant, full height
+  mutable std::mutex write_mutex_;
+  reclaim::Ebr& ebr_;
+  std::atomic<std::size_t> size_{0};
+  Xoshiro256 height_rng_{0x1db7d1cdULL};  // guarded by write_mutex_
+};
+
+}  // namespace kiwi::index

@@ -1,0 +1,108 @@
+#include "reclaim/hazard.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/thread_registry.h"
+
+namespace kiwi::reclaim {
+
+HazardPointer::HazardPointer(HazardDomain& domain)
+    : domain_(&domain), index_(domain.AcquireIndex()) {}
+
+HazardPointer::~HazardPointer() {
+  Clear();
+  domain_->ReleaseIndex(index_);
+}
+
+void HazardPointer::Set(void* ptr) {
+  // seq_cst: publication must be ordered before the re-validation load in
+  // ProtectFrom and before any dereference (store-load with the collector).
+  domain_->hazards_[index_].value.store(ptr, std::memory_order_seq_cst);
+}
+
+void HazardPointer::Clear() {
+  domain_->hazards_[index_].value.store(nullptr, std::memory_order_release);
+}
+
+HazardDomain::HazardDomain(std::size_t pointers_per_thread)
+    : pointers_per_thread_(pointers_per_thread),
+      hazards_(kMaxThreads * pointers_per_thread),
+      index_used_(kMaxThreads * pointers_per_thread) {}
+
+HazardDomain::~HazardDomain() {
+  for (auto& buffer : buffers_) {
+    for (const Retired& r : buffer.items) r.deleter(r.object);
+    buffer.items.clear();
+  }
+}
+
+std::size_t HazardDomain::AcquireIndex() {
+  const std::size_t base =
+      ThreadRegistry::CurrentSlot() * pointers_per_thread_;
+  for (std::size_t i = 0; i < pointers_per_thread_; ++i) {
+    // Only the owning thread touches its own index_used_ range, so a simple
+    // load/store pair suffices.
+    if (!index_used_[base + i].value.load(std::memory_order_relaxed)) {
+      index_used_[base + i].value.store(true, std::memory_order_relaxed);
+      return base + i;
+    }
+  }
+  KIWI_ASSERT(false, "thread exhausted its hazard-pointer slots");
+  return 0;
+}
+
+void HazardDomain::ReleaseIndex(std::size_t index) {
+  index_used_[index].value.store(false, std::memory_order_relaxed);
+}
+
+void HazardDomain::Retire(void* object, Deleter deleter) {
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  RetireBuffer& buffer = buffers_[slot];
+  buffer.items.push_back(Retired{object, deleter});
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  // Amortized O(1): scan once the buffer is a constant factor larger than
+  // the maximum number of simultaneously protected pointers.
+  const std::size_t threshold =
+      2 * kMaxThreads * pointers_per_thread_ + 16;
+  if (buffer.items.size() >= threshold) Collect();
+}
+
+std::size_t HazardDomain::Collect() {
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  RetireBuffer& buffer = buffers_[slot];
+  if (buffer.items.empty()) return 0;
+
+  // Snapshot every published hazard.
+  std::vector<void*> protected_ptrs;
+  protected_ptrs.reserve(hazards_.size());
+  for (const auto& h : hazards_) {
+    if (void* p = h.value.load(std::memory_order_seq_cst)) {
+      protected_ptrs.push_back(p);
+    }
+  }
+  std::sort(protected_ptrs.begin(), protected_ptrs.end());
+
+  std::size_t freed = 0;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < buffer.items.size(); ++read) {
+    const Retired& r = buffer.items[read];
+    const bool is_protected = std::binary_search(
+        protected_ptrs.begin(), protected_ptrs.end(), r.object);
+    if (is_protected) {
+      buffer.items[write++] = r;
+    } else {
+      r.deleter(r.object);
+      ++freed;
+    }
+  }
+  buffer.items.resize(write);
+  pending_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t HazardDomain::PendingCount() const {
+  return pending_.load(std::memory_order_relaxed);
+}
+
+}  // namespace kiwi::reclaim

@@ -1,0 +1,105 @@
+// Hazard-pointer reclamation (Michael, 2004).
+//
+// Alternative backend to EBR with per-object protection instead of
+// per-operation epochs: bounded unreclaimed garbage even if a thread stalls
+// inside an operation (EBR's weakness).  KiWi itself uses EBR — chunk
+// traversals touch many chunks and per-chunk hazard acquisition would put
+// two fences on every hop — but the skiplist baseline can run on either
+// backend, and tests exercise both.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/config.h"
+#include "common/padded.h"
+
+namespace kiwi::reclaim {
+
+class HazardDomain;
+
+/// One owned hazard slot.  Protect() publishes a pointer; the destructor (or
+/// Clear) retracts it.
+class HazardPointer {
+ public:
+  HazardPointer(HazardDomain& domain);
+  ~HazardPointer();
+  HazardPointer(const HazardPointer&) = delete;
+  HazardPointer& operator=(const HazardPointer&) = delete;
+
+  /// Publish `ptr` and re-validate it is still reachable through `source`.
+  /// Returns the protected pointer, or nullptr if the source moved on (the
+  /// caller must restart its traversal).
+  template <typename T>
+  T* ProtectFrom(const std::atomic<T*>& source) {
+    T* ptr = source.load(std::memory_order_acquire);
+    while (true) {
+      Set(ptr);
+      T* again = source.load(std::memory_order_acquire);
+      if (again == ptr) return ptr;
+      ptr = again;
+    }
+  }
+
+  /// Publish a pointer the caller already knows is safe to dereference.
+  void Set(void* ptr);
+
+  /// Retract the protection.
+  void Clear();
+
+ private:
+  friend class HazardDomain;
+  HazardDomain* domain_;
+  std::size_t index_;
+};
+
+class HazardDomain {
+ public:
+  using Deleter = void (*)(void*);
+
+  /// `pointers_per_thread`: hazard slots available to each thread at once
+  /// (a skiplist search needs 3: prev, curr, next).
+  explicit HazardDomain(std::size_t pointers_per_thread = 4);
+  ~HazardDomain();
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  /// Retire an unreachable object; freed once no hazard slot points at it.
+  void Retire(void* object, Deleter deleter);
+
+  template <typename T>
+  void RetireObject(T* object) {
+    Retire(object, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Scan hazards and free unprotected retired objects.  Returns #freed.
+  std::size_t Collect();
+
+  std::size_t PendingCount() const;
+  std::size_t PointersPerThread() const { return pointers_per_thread_; }
+
+ private:
+  friend class HazardPointer;
+
+  struct Retired {
+    void* object;
+    Deleter deleter;
+  };
+
+  std::size_t AcquireIndex();
+  void ReleaseIndex(std::size_t index);
+
+  const std::size_t pointers_per_thread_;
+  /// Flat array: slot (thread, i) at [thread * pointers_per_thread + i].
+  std::vector<PaddedAtomic<void*>> hazards_;
+  std::vector<PaddedAtomic<bool>> index_used_;
+
+  struct alignas(kCacheLineSize) RetireBuffer {
+    std::vector<Retired> items;
+  };
+  RetireBuffer buffers_[kMaxThreads];
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace kiwi::reclaim

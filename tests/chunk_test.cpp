@@ -1,0 +1,222 @@
+// Unit tests for the chunk data structure: PPA word packing, batched-prefix
+// binary search, intra-chunk list operations, versioned reads, freezing,
+// helping, and harvest.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_registry.h"
+#include "core/chunk.h"
+
+namespace kiwi::core {
+namespace {
+
+using Item = Chunk::Item;
+
+Chunk MakeChunkWith(std::vector<Item> items, std::uint32_t capacity = 64) {
+  return Chunk(kMinUserKey, capacity, nullptr, Chunk::Status::kNormal,
+               items);
+}
+
+TEST(PpaWord, PackRoundTrips) {
+  const std::uint64_t word = Chunk::PackPpa(0x123456789ABCull, 0x321);
+  EXPECT_EQ(Chunk::PpaVer(word), 0x123456789ABCull);
+  EXPECT_EQ(Chunk::PpaIdx(word), 0x321u);
+}
+
+TEST(PpaWord, SpecialValuesDistinct) {
+  EXPECT_EQ(Chunk::PpaVer(Chunk::kPpaIdle), Chunk::kPpaVerBottom);
+  EXPECT_EQ(Chunk::PpaIdx(Chunk::kPpaIdle), Chunk::kPpaNoIdx);
+  EXPECT_NE(Chunk::kPpaVerFrozen, Chunk::kPpaVerBottom);
+  EXPECT_GT(Chunk::kPpaVerFrozen, kMaxReadVersion);
+}
+
+TEST(ChunkBatched, ConstructorSeedsSortedPrefix) {
+  std::vector<Item> items;
+  for (int i = 0; i < 10; ++i) {
+    items.push_back(Item{100 + i * 10, 1, 0, i});
+  }
+  Chunk chunk = MakeChunkWith(items);
+  EXPECT_EQ(chunk.batched_count, 10u);
+  EXPECT_EQ(chunk.AllocatedCells(), 10u);
+  // Walk the linked list: sequential 1..10 with correct payloads.
+  std::int32_t curr = chunk.k[0].next.load();
+  int seen = 0;
+  while (curr != Chunk::kNullIdx) {
+    EXPECT_EQ(chunk.k[curr].key, 100 + seen * 10);
+    EXPECT_EQ(chunk.v[chunk.k[curr].val_ptr.load()], seen);
+    curr = chunk.k[curr].next.load();
+    ++seen;
+  }
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(ChunkBatched, BinarySearchFindsStrictPredecessor) {
+  std::vector<Item> items;
+  for (int i = 0; i < 16; ++i) items.push_back(Item{10 * (i + 1), 1, 0, i});
+  Chunk chunk = MakeChunkWith(items);
+  EXPECT_EQ(chunk.BatchedPredecessor(5), 0);     // sentinel
+  EXPECT_EQ(chunk.BatchedPredecessor(10), 0);    // strict: 10 not < 10
+  EXPECT_EQ(chunk.BatchedPredecessor(11), 1);
+  EXPECT_EQ(chunk.BatchedPredecessor(100), 9);
+  EXPECT_EQ(chunk.BatchedPredecessor(10000), 16);
+}
+
+TEST(ChunkBatched, VersionsDescendWithinKey) {
+  // Two versions of key 50, newest first.
+  std::vector<Item> items{{50, 7, 0, 700}, {50, 3, 1, 300}, {60, 1, 2, 600}};
+  Chunk chunk = MakeChunkWith(items);
+  // Latest at unbounded read point: version 7.
+  auto latest = chunk.FindLatest(50, kMaxReadVersion);
+  ASSERT_TRUE(latest.found);
+  EXPECT_EQ(latest.version, 7u);
+  EXPECT_EQ(latest.value, 700);
+  // A scan with read point 5 sees version 3.
+  latest = chunk.FindLatest(50, 5);
+  ASSERT_TRUE(latest.found);
+  EXPECT_EQ(latest.version, 3u);
+  EXPECT_EQ(latest.value, 300);
+  // A scan with read point 2 sees nothing.
+  EXPECT_FALSE(chunk.FindLatest(50, 2).found);
+}
+
+TEST(ChunkFind, ReportsInsertionPoint) {
+  std::vector<Item> items{{10, 1, 0, 0}, {30, 1, 1, 0}};
+  Chunk chunk = MakeChunkWith(items);
+  std::int32_t pred = -2, succ = -2;
+  // Missing key between the two: pred = cell(10), succ = cell(30).
+  EXPECT_EQ(chunk.FindCell(20, 1, &pred, &succ), Chunk::kNullIdx);
+  EXPECT_EQ(chunk.k[pred].key, 10);
+  EXPECT_EQ(chunk.k[succ].key, 30);
+  // Exact {key, version} hit.
+  const std::int32_t hit = chunk.FindCell(30, 1, &pred, &succ);
+  ASSERT_NE(hit, Chunk::kNullIdx);
+  EXPECT_EQ(chunk.k[hit].key, 30);
+  // Same key, different version: miss, positioned after version 1?  A
+  // *newer* version (5 > 1) belongs before the existing cell.
+  EXPECT_EQ(chunk.FindCell(30, 5, &pred, &succ), Chunk::kNullIdx);
+  EXPECT_EQ(chunk.k[pred].key, 10);
+  EXPECT_EQ(chunk.k[succ].key, 30);
+}
+
+TEST(ChunkPpa, PendingPutVisibleThroughFindLatest) {
+  Chunk chunk = MakeChunkWith({});
+  // Simulate the put protocol up to version acquisition: value + cell.
+  chunk.v[0] = 4242;
+  chunk.k[1].key = 77;
+  chunk.k[1].val_ptr.store(0);
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  chunk.ppa[slot].store(Chunk::PackPpa(9, 1));  // version 9, cell 1
+  const auto latest = chunk.FindLatest(77, kMaxReadVersion);
+  ASSERT_TRUE(latest.found);
+  EXPECT_EQ(latest.value, 4242);
+  EXPECT_EQ(latest.version, 9u);
+  // Bounded read below the pending version misses it.
+  EXPECT_FALSE(chunk.FindLatest(77, 8).found);
+  chunk.ppa[slot].store(Chunk::kPpaIdle);
+}
+
+TEST(ChunkPpa, VersionlessEntryIgnoredByReadsButHelped) {
+  GlobalVersion gv;
+  Chunk chunk = MakeChunkWith({});
+  chunk.v[0] = 1;
+  chunk.k[1].key = 55;
+  chunk.k[1].val_ptr.store(0);
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  chunk.ppa[slot].store(Chunk::PackPpa(Chunk::kPpaVerBottom, 1));
+  // Unversioned pending puts are invisible (they ordered after us)...
+  EXPECT_FALSE(chunk.FindLatest(55, kMaxReadVersion).found);
+  // ...until helping installs the current GV.
+  chunk.HelpPendingPuts(gv, 0, 100);
+  const std::uint64_t word = chunk.ppa[slot].load();
+  EXPECT_EQ(Chunk::PpaVer(word), gv.Load());
+  EXPECT_TRUE(chunk.FindLatest(55, kMaxReadVersion).found);
+  chunk.ppa[slot].store(Chunk::kPpaIdle);
+}
+
+TEST(ChunkPpa, HelpRespectsKeyRange) {
+  GlobalVersion gv;
+  Chunk chunk = MakeChunkWith({});
+  chunk.k[1].key = 500;
+  chunk.k[1].val_ptr.store(0);
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  chunk.ppa[slot].store(Chunk::PackPpa(Chunk::kPpaVerBottom, 1));
+  chunk.HelpPendingPuts(gv, 0, 100);  // range misses key 500
+  EXPECT_EQ(Chunk::PpaVer(chunk.ppa[slot].load()), Chunk::kPpaVerBottom);
+  chunk.ppa[slot].store(Chunk::kPpaIdle);
+}
+
+TEST(ChunkPpa, FreezeBlocksVersionlessEntries) {
+  Chunk chunk = MakeChunkWith({});
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  // One versionless pending put and one already-versioned entry.
+  chunk.ppa[slot].store(Chunk::PackPpa(Chunk::kPpaVerBottom, 3));
+  const std::size_t other = (slot + 1) % kMaxThreads;
+  chunk.ppa[other].store(Chunk::PackPpa(12, 4));
+  chunk.FreezePpa();
+  EXPECT_EQ(Chunk::PpaVer(chunk.ppa[slot].load()), Chunk::kPpaVerFrozen);
+  EXPECT_EQ(Chunk::PpaVer(chunk.ppa[other].load()), 12u);  // untouched
+  // A put's version CAS (⊥ -> gv) must now fail.
+  std::uint64_t expected = Chunk::PackPpa(Chunk::kPpaVerBottom, 3);
+  EXPECT_FALSE(chunk.ppa[slot].compare_exchange_strong(
+      expected, Chunk::PackPpa(1, 3)));
+  chunk.ppa[slot].store(Chunk::kPpaIdle);
+  chunk.ppa[other].store(Chunk::kPpaIdle);
+}
+
+TEST(ChunkHarvest, CollectMergesListAndPpa) {
+  std::vector<Item> items{{10, 2, 0, 100}, {20, 2, 1, 200}};
+  Chunk chunk = MakeChunkWith(items);
+  // A versioned pending put for a new key 15.
+  chunk.v[2] = 150;
+  chunk.k[3].key = 15;
+  chunk.k[3].val_ptr.store(2);
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  chunk.ppa[slot].store(Chunk::PackPpa(5, 3));
+  std::vector<Item> harvested;
+  chunk.CollectItems(harvested);
+  ASSERT_EQ(harvested.size(), 3u);
+  EXPECT_EQ(harvested[0].key, 10);
+  EXPECT_EQ(harvested[1].key, 15);
+  EXPECT_EQ(harvested[1].version, 5u);
+  EXPECT_EQ(harvested[1].value, 150);
+  EXPECT_EQ(harvested[2].key, 20);
+  chunk.ppa[slot].store(Chunk::kPpaIdle);
+}
+
+TEST(ChunkHarvest, DuplicateKeyVersionKeepsLargerValPtr) {
+  // List holds {50, v3, valPtr 0}; PPA publishes {50, v3, valPtr 1}: the
+  // larger location wins (paper's tie break), exactly once in the harvest.
+  std::vector<Item> items{{50, 3, 0, 111}};
+  Chunk chunk = MakeChunkWith(items);
+  chunk.v[1] = 222;
+  chunk.k[2].key = 50;
+  chunk.k[2].val_ptr.store(1);
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  chunk.ppa[slot].store(Chunk::PackPpa(3, 2));
+  std::vector<Item> harvested;
+  chunk.CollectItems(harvested);
+  ASSERT_EQ(harvested.size(), 1u);
+  EXPECT_EQ(harvested[0].val_ptr, 1);
+  EXPECT_EQ(harvested[0].value, 222);
+  // FindLatest applies the same tie break.
+  const auto latest = chunk.FindLatest(50, kMaxReadVersion);
+  EXPECT_EQ(latest.value, 222);
+  chunk.ppa[slot].store(Chunk::kPpaIdle);
+}
+
+TEST(ChunkGeometry, CoversKeyUsesNextMinKey) {
+  Chunk low(kMinUserKey, 8, nullptr, Chunk::Status::kNormal);
+  Chunk high(1000, 8, nullptr, Chunk::Status::kNormal);
+  low.next.Store(MarkedPtr<Chunk>(&high, false));
+  EXPECT_TRUE(low.CoversKey(kMinUserKey));
+  EXPECT_TRUE(low.CoversKey(999));
+  EXPECT_FALSE(low.CoversKey(1000));
+  EXPECT_TRUE(high.CoversKey(1000));
+  EXPECT_TRUE(high.CoversKey(kMaxUserKey));
+  EXPECT_FALSE(high.CoversKey(5));
+  EXPECT_GT(low.MemoryFootprint(), 8 * sizeof(Chunk::Cell));
+}
+
+}  // namespace
+}  // namespace kiwi::core

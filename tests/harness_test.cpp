@@ -1,0 +1,126 @@
+// Tests for the synchrobench-like harness: op mixes, key streams, prefill,
+// and the multithreaded driver.
+#include <gtest/gtest.h>
+
+#include "harness/driver.h"
+#include "harness/metrics.h"
+#include "harness/workload.h"
+
+namespace kiwi::harness {
+namespace {
+
+TEST(Workload, MixFractionsRespected) {
+  WorkloadSpec spec;
+  spec.get_fraction = 0.6;
+  spec.put_fraction = 0.2;
+  spec.remove_fraction = 0.1;
+  spec.scan_fraction = 0.1;
+  OpStream stream(spec, 1, 0, 1);
+  int counts[4] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<int>(stream.NextOp())];
+  }
+  EXPECT_NEAR(counts[0], kSamples * 0.6, kSamples * 0.02);
+  EXPECT_NEAR(counts[1], kSamples * 0.2, kSamples * 0.02);
+  EXPECT_NEAR(counts[2], kSamples * 0.1, kSamples * 0.02);
+  EXPECT_NEAR(counts[3], kSamples * 0.1, kSamples * 0.02);
+}
+
+TEST(Workload, CannedMixesMatchPaper) {
+  EXPECT_EQ(WorkloadSpec::GetOnly(100).get_fraction, 1.0);
+  const WorkloadSpec puts = WorkloadSpec::PutOnly(100);
+  EXPECT_EQ(puts.put_fraction, 0.5);  // half inserts/updates...
+  EXPECT_EQ(puts.remove_fraction, 0.5);  // ...half deletes (§6.2)
+  const WorkloadSpec scans = WorkloadSpec::ScanOnly(100, 32768);
+  EXPECT_EQ(scans.scan_fraction, 1.0);
+  EXPECT_EQ(scans.scan_size, 32768u);
+  EXPECT_TRUE(WorkloadSpec::OrderedPuts().ordered_keys);
+}
+
+TEST(Workload, UniformKeysStayInRange) {
+  WorkloadSpec spec = WorkloadSpec::GetOnly(1000);
+  OpStream stream(spec, 7, 0, 1);
+  for (int i = 0; i < 10000; ++i) {
+    const Key key = stream.NextKey();
+    EXPECT_GE(key, kMinUserKey);
+    EXPECT_LT(key, kMinUserKey + 1000);
+  }
+}
+
+TEST(Workload, OrderedStreamsPartitionByThread) {
+  WorkloadSpec spec = WorkloadSpec::OrderedPuts();
+  OpStream a(spec, 1, 0, 2);
+  OpStream b(spec, 1, 1, 2);
+  // Thread 0 emits 0,2,4..., thread 1 emits 1,3,5... — strictly increasing
+  // and globally disjoint.
+  EXPECT_EQ(a.NextKey(), kMinUserKey + 0);
+  EXPECT_EQ(b.NextKey(), kMinUserKey + 1);
+  EXPECT_EQ(a.NextKey(), kMinUserKey + 2);
+  EXPECT_EQ(b.NextKey(), kMinUserKey + 3);
+}
+
+TEST(Workload, PrefillReachesExactSize) {
+  auto map = api::MakeMap(api::MapKind::kLockedMap);
+  WorkloadSpec spec = WorkloadSpec::GetOnly(5000);
+  Prefill(*map, spec, 2000, 1);
+  std::vector<api::IOrderedMap::Entry> out;
+  map->Scan(kMinUserKey, kMaxUserKey, out);
+  EXPECT_EQ(out.size(), 2000u);
+}
+
+TEST(Driver, RunsRolesAndCountsOps) {
+  auto map = api::MakeMap(api::MapKind::kKiWi);
+  std::vector<Role> roles;
+  roles.push_back(Role{"putters", 2, WorkloadSpec::PutOnly(10000)});
+  roles.push_back(Role{"scanners", 1, WorkloadSpec::ScanOnly(10000, 256)});
+  DriverOptions options;
+  options.warmup_ms = 30;
+  options.iteration_ms = 60;
+  options.iterations = 2;
+  options.initial_size = 2000;
+  options.measure_memory = true;
+  const RunResult result = RunWorkload(*map, roles, options);
+  ASSERT_EQ(result.roles.size(), 2u);
+  const RoleResult& putters = result.Role("putters");
+  const RoleResult& scanners = result.Role("scanners");
+  EXPECT_GT(putters.ops, 0u);
+  EXPECT_GT(scanners.ops, 0u);
+  EXPECT_GT(scanners.keys, scanners.ops);  // scans touch many keys each
+  EXPECT_GT(putters.OpsPerSec(), 0.0);
+  EXPECT_GT(result.memory_bytes, 0u);
+  EXPECT_NEAR(putters.seconds, 0.12, 0.08);
+}
+
+TEST(Driver, EnvOverridesParsed) {
+  setenv("KIWI_BENCH_WARMUP_MS", "123", 1);
+  setenv("KIWI_BENCH_ITER_MS", "456", 1);
+  setenv("KIWI_BENCH_ITERS", "7", 1);
+  const DriverOptions options = DriverOptions::FromEnv();
+  EXPECT_EQ(options.warmup_ms, 123u);
+  EXPECT_EQ(options.iteration_ms, 456u);
+  EXPECT_EQ(options.iterations, 7u);
+  unsetenv("KIWI_BENCH_WARMUP_MS");
+  unsetenv("KIWI_BENCH_ITER_MS");
+  unsetenv("KIWI_BENCH_ITERS");
+}
+
+TEST(Metrics, ParseUintList) {
+  std::vector<std::uint64_t> values;
+  EXPECT_TRUE(ParseUintList("1,2,32", &values));
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[2], 32u);
+  EXPECT_TRUE(ParseUintList("7", &values));
+  EXPECT_EQ(values.size(), 1u);
+  EXPECT_FALSE(ParseUintList("", &values));
+  EXPECT_FALSE(ParseUintList("1,,2", &values));
+  EXPECT_FALSE(ParseUintList("1,x", &values));
+}
+
+TEST(Metrics, Formatting) {
+  EXPECT_EQ(FormatMps(2500000.0), "2.500 M/s");
+  EXPECT_EQ(FormatMb(1024 * 1024), "1.00 MB");
+}
+
+}  // namespace
+}  // namespace kiwi::harness

@@ -1,0 +1,173 @@
+// Tests for the snapshot-capable hash trie (Ctrie analogue): correctness,
+// full-snapshot scans, COW behaviour, and concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/ctrie/hash_trie.h"
+#include "common/random.h"
+
+namespace kiwi::baselines {
+namespace {
+
+TEST(HashTrie, BasicPutGetRemove) {
+  HashTrie trie;
+  EXPECT_FALSE(trie.Get(1).has_value());
+  trie.Put(1, 10);
+  trie.Put(2, 20);
+  trie.Put(1, 11);
+  EXPECT_EQ(trie.Get(1).value(), 11);
+  EXPECT_EQ(trie.Get(2).value(), 20);
+  trie.Remove(1);
+  EXPECT_FALSE(trie.Get(1).has_value());
+  EXPECT_EQ(trie.Get(2).value(), 20);
+  trie.Remove(999);  // absent: no-op
+  EXPECT_EQ(trie.Size(), 1u);
+}
+
+TEST(HashTrie, DeepHashPathsResolve) {
+  // Keys chosen densely force multi-level tries via their hashed bits.
+  HashTrie trie;
+  for (Key k = 0; k < 5000; ++k) trie.Put(k, k * 3);
+  EXPECT_EQ(trie.Size(), 5000u);
+  for (Key k = 0; k < 5000; ++k) ASSERT_EQ(trie.Get(k).value_or(-1), k * 3);
+  for (Key k = 5000; k < 5100; ++k) ASSERT_FALSE(trie.Get(k).has_value());
+}
+
+TEST(HashTrie, MatchesOracle) {
+  HashTrie trie;
+  std::map<Key, Value> oracle;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const Key key = static_cast<Key>(rng.NextBounded(1500));
+    if (rng.NextBool(0.3)) {
+      trie.Remove(key);
+      oracle.erase(key);
+    } else {
+      trie.Put(key, i);
+      oracle[key] = i;
+    }
+  }
+  for (const auto& [k, v] : oracle) ASSERT_EQ(trie.Get(k).value_or(-1), v);
+  std::vector<HashTrie::Entry> out;
+  trie.Scan(0, 1500, out);
+  ASSERT_EQ(out.size(), oracle.size());
+  auto it = oracle.begin();
+  for (const auto& [k, v] : out) {
+    ASSERT_EQ(k, it->first);  // sorted ascending despite hash order
+    ASSERT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(HashTrie, ScanFiltersRange) {
+  HashTrie trie;
+  for (Key k = 0; k < 1000; ++k) trie.Put(k, k);
+  std::vector<HashTrie::Entry> out;
+  EXPECT_EQ(trie.Scan(100, 199, out), 100u);
+  EXPECT_EQ(out.front().first, 100);
+  EXPECT_EQ(out.back().first, 199);
+  EXPECT_EQ(trie.Scan(5000, 6000, out), 0u);
+}
+
+TEST(HashTrie, ScansAreAtomicUnderSweepWriter) {
+  constexpr Key kKeys = 128;
+  HashTrie trie;
+  for (Key k = 0; k < kKeys; ++k) trie.Put(k, 0);
+  std::atomic<bool> stop{false};
+  std::atomic<Value> rounds_done{0};
+  std::thread writer([&] {
+    for (Value round = 1; !stop.load(std::memory_order_acquire); ++round) {
+      for (Key k = 0; k < kKeys; ++k) trie.Put(k, round);
+      rounds_done.store(round, std::memory_order_release);
+    }
+  });
+  std::vector<HashTrie::Entry> out;
+  for (int i = 0; i < 300 || rounds_done.load(std::memory_order_acquire) < 5;
+       ++i) {
+    trie.Scan(0, kKeys - 1, out);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(kKeys));
+    Value previous = out.front().second;
+    for (const auto& [key, value] : out) {
+      ASSERT_LE(value, previous) << "torn snapshot at key " << key;
+      previous = value;
+    }
+    ASSERT_LE(out.front().second - out.back().second, 1);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_GT(trie.CowClones(), 0u)
+      << "writers under live snapshots must pay COW clones";
+}
+
+TEST(HashTrie, DisjointConcurrentWriters) {
+  HashTrie trie;
+  constexpr int kThreads = 6;
+  constexpr Key kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (Key k = 0; k < kPerThread; ++k) trie.Put(t * kPerThread + k, k);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(trie.Size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (Key k = 0; k < kPerThread; k += 131) {
+      ASSERT_EQ(trie.Get(t * kPerThread + k).value_or(-1), k);
+    }
+  }
+}
+
+TEST(HashTrie, ContendedSameKeysConverge) {
+  HashTrie trie;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t + 9);
+      for (int i = 0; i < 20000; ++i) {
+        const Key key = static_cast<Key>(rng.NextBounded(64));
+        if (rng.NextBool(0.3)) {
+          trie.Remove(key);
+        } else {
+          trie.Put(key, t * 100000 + i);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Structure is consistent: every present key readable, scan agrees.
+  std::vector<HashTrie::Entry> out;
+  trie.Scan(0, 63, out);
+  for (const auto& [k, v] : out) {
+    ASSERT_EQ(trie.Get(k).value_or(-1), v);
+  }
+  EXPECT_EQ(trie.Size(), out.size());
+}
+
+TEST(HashTrie, MemoryFootprintGrows) {
+  HashTrie trie;
+  const std::size_t empty = trie.MemoryFootprint();
+  for (Key k = 0; k < 5000; ++k) trie.Put(k, k);
+  EXPECT_GT(trie.MemoryFootprint(), empty);
+}
+
+TEST(HashTrie, ExtremeKeysHashCleanly) {
+  HashTrie trie;
+  trie.Put(kMinUserKey, 1);
+  trie.Put(kMaxUserKey, 2);
+  trie.Put(0, 3);
+  EXPECT_EQ(trie.Get(kMinUserKey).value(), 1);
+  EXPECT_EQ(trie.Get(kMaxUserKey).value(), 2);
+  std::vector<HashTrie::Entry> out;
+  EXPECT_EQ(trie.Scan(kMinUserKey, kMaxUserKey, out), 3u);
+  EXPECT_EQ(out[0].first, kMinUserKey);
+  EXPECT_EQ(out[2].first, kMaxUserKey);
+}
+
+}  // namespace
+}  // namespace kiwi::baselines

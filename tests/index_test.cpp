@@ -1,0 +1,121 @@
+// Unit tests for the lazy chunk index (lock-free lookups, locked
+// conditional updates — the paper's semantic LL/SC API, §3.3.2 stage 6).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "index/chunk_index.h"
+#include "reclaim/ebr.h"
+
+namespace kiwi::index {
+namespace {
+
+int g_markers[16];
+void* Handle(int i) { return &g_markers[i]; }
+
+class IndexTest : public ::testing::Test {
+ protected:
+  reclaim::Ebr ebr_;
+  ChunkIndex index_{ebr_};
+};
+
+TEST_F(IndexTest, EmptyLookupReturnsNull) {
+  EXPECT_EQ(index_.Lookup(0), nullptr);
+  EXPECT_EQ(index_.Lookup(kMaxUserKey), nullptr);
+}
+
+TEST_F(IndexTest, LookupFindsFloorEntry) {
+  index_.PutUnconditional(10, Handle(1));
+  index_.PutUnconditional(20, Handle(2));
+  index_.PutUnconditional(30, Handle(3));
+  EXPECT_EQ(index_.Lookup(5), nullptr);    // below everything
+  EXPECT_EQ(index_.Lookup(10), Handle(1)); // exact
+  EXPECT_EQ(index_.Lookup(15), Handle(1)); // floor
+  EXPECT_EQ(index_.Lookup(20), Handle(2));
+  EXPECT_EQ(index_.Lookup(29), Handle(2));
+  EXPECT_EQ(index_.Lookup(1000), Handle(3));
+}
+
+TEST_F(IndexTest, PutConditionalChecksPredecessor) {
+  index_.PutUnconditional(10, Handle(1));
+  // Correct prev: the floor of 20 is the entry at 10.
+  EXPECT_TRUE(index_.PutConditional(20, Handle(1), Handle(2)));
+  EXPECT_EQ(index_.Lookup(25), Handle(2));
+  // Wrong prev: floor of 30 is now Handle(2), not Handle(1).
+  EXPECT_FALSE(index_.PutConditional(30, Handle(1), Handle(3)));
+  EXPECT_EQ(index_.Lookup(30), Handle(2));
+}
+
+TEST_F(IndexTest, PutConditionalReplacesInPlace) {
+  index_.PutUnconditional(10, Handle(1));
+  // Same key, prev == current mapping: replace.
+  EXPECT_TRUE(index_.PutConditional(10, Handle(1), Handle(2)));
+  EXPECT_EQ(index_.Lookup(10), Handle(2));
+  EXPECT_EQ(index_.Size(), 1u);
+}
+
+TEST_F(IndexTest, DeleteConditionalMatchesHandle) {
+  index_.PutUnconditional(10, Handle(1));
+  index_.PutUnconditional(20, Handle(2));
+  // Wrong handle: refused.
+  EXPECT_FALSE(index_.DeleteConditional(10, Handle(2)));
+  EXPECT_EQ(index_.Lookup(10), Handle(1));
+  // Right handle: removed; floor queries fall through to the predecessor.
+  EXPECT_TRUE(index_.DeleteConditional(20, Handle(2)));
+  EXPECT_EQ(index_.Lookup(25), Handle(1));
+  // Deleting an absent key is an idempotent success (rebalance retries).
+  EXPECT_TRUE(index_.DeleteConditional(20, Handle(2)));
+}
+
+TEST_F(IndexTest, SizeTracksMutations) {
+  EXPECT_EQ(index_.Size(), 0u);
+  for (int i = 0; i < 100; ++i) index_.PutUnconditional(i * 10, Handle(1));
+  EXPECT_EQ(index_.Size(), 100u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(index_.DeleteConditional(i * 10, Handle(1)));
+  }
+  EXPECT_EQ(index_.Size(), 50u);
+  EXPECT_GT(index_.MemoryFootprint(), 0u);
+}
+
+TEST_F(IndexTest, ManyEntriesStaySorted) {
+  for (int i = 999; i >= 0; --i) index_.PutUnconditional(i * 3, Handle(i % 16));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(index_.Lookup(i * 3), Handle(i % 16)) << i;
+    EXPECT_EQ(index_.Lookup(i * 3 + 1), Handle(i % 16)) << i;
+  }
+}
+
+// Readers run lock-free while a writer churns entries; EBR keeps unlinked
+// nodes alive for in-flight readers.
+TEST_F(IndexTest, ConcurrentLookupDuringChurn) {
+  for (int i = 0; i < 64; ++i) index_.PutUnconditional(i * 100, Handle(0));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        reclaim::EbrGuard guard(ebr_);
+        // The permanent entries bound every floor query.
+        void* found = index_.Lookup(3150);
+        ASSERT_NE(found, nullptr);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < 2000; ++round) {
+      const Key key = 50 + (round % 64) * 100;  // between permanent entries
+      void* prev = index_.Lookup(key);
+      index_.PutConditional(key, prev, Handle(1));
+      index_.DeleteConditional(key, Handle(1));
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& reader : readers) reader.join();
+}
+
+}  // namespace
+}  // namespace kiwi::index

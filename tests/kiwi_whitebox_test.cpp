@@ -1,0 +1,184 @@
+// White-box tests for KiWi's rebalance machinery: drives the rare races
+// directly through internal state instead of hoping a scheduler produces
+// them — the orphaned-engagement recovery, frozen-chunk put restarts, and
+// the chunk life-cycle (infant -> normal -> frozen).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kiwi_map.h"
+#include "reclaim/ebr.h"
+
+namespace kiwi::core {
+
+// Friend of KiWiMap (declared in kiwi_map.h): exposes internals to tests.
+class KiWiTestPeer {
+ public:
+  explicit KiWiTestPeer(KiWiMap& map) : map_(map) {}
+
+  Chunk* Sentinel() { return map_.sentinel_; }
+
+  Chunk* Locate(Key key) {
+    reclaim::EbrGuard guard(map_.ebr_);
+    return map_.LocateChunk(key);
+  }
+
+  reclaim::Ebr& Ebr() { return map_.ebr_; }
+
+  std::vector<Chunk::Status> Statuses() {
+    reclaim::EbrGuard guard(map_.ebr_);
+    std::vector<Chunk::Status> statuses;
+    for (Chunk* c = map_.sentinel_; c != nullptr; c = c->Next()) {
+      statuses.push_back(c->status.load(std::memory_order_acquire));
+    }
+    return statuses;
+  }
+
+  /// Manufacture the orphaned-engagement state on the chunk covering `key`:
+  /// a *finished* rebalance object attached to a still-reachable chunk
+  /// (DESIGN.md §2 deviation 7).  Freezes the chunk like the racing helper
+  /// would have.
+  void MakeOrphan(Key key) {
+    reclaim::EbrGuard guard(map_.ebr_);
+    Chunk* chunk = map_.LocateChunk(key);
+    ASSERT_EQ(chunk->ro.load(std::memory_order_acquire), nullptr)
+        << "test requires a chunk not already engaged";
+    auto* ro = new RebalanceObject(chunk, chunk->Next());
+    // A finished rebalance: replacement agreed and splice done.
+    ro->next.store(nullptr, std::memory_order_release);
+    ro->replacement.store(chunk, std::memory_order_release);  // arbitrary
+    ro->done.store(true, std::memory_order_release);
+    // The chunk's `ro` pointer owns the object's initial reference; the
+    // recovery path (or the chunk's destructor) releases it.
+    chunk->ro.store(ro, std::memory_order_release);
+    chunk->status.store(Chunk::Status::kFrozen, std::memory_order_release);
+    chunk->FreezePpa();
+  }
+
+ private:
+  KiWiMap& map_;
+};
+
+namespace {
+
+TEST(KiWiWhitebox, ChunkLifecycleAfterLoad) {
+  KiWiConfig config;
+  config.chunk_capacity = 32;
+  KiWiMap map(config);
+  for (Key k = 0; k < 2000; ++k) map.Put(k, k);
+  KiWiTestPeer peer(map);
+  const auto statuses = peer.Statuses();
+  ASSERT_GT(statuses.size(), 2u);
+  EXPECT_EQ(statuses.front(), Chunk::Status::kSentinel);
+  // Quiescent map: every data chunk has been normalized (no stuck infants
+  // or frozen chunks left in the list).
+  for (std::size_t i = 1; i < statuses.size(); ++i) {
+    EXPECT_EQ(statuses[i], Chunk::Status::kNormal) << "chunk " << i;
+  }
+}
+
+TEST(KiWiWhitebox, SentinelNeverEngagedOrReplaced) {
+  KiWiConfig config;
+  config.chunk_capacity = 16;
+  KiWiMap map(config);
+  KiWiTestPeer peer(map);
+  Chunk* sentinel_before = peer.Sentinel();
+  for (Key k = 0; k < 5000; ++k) map.Put(k, k);
+  map.CompactAll();
+  EXPECT_EQ(peer.Sentinel(), sentinel_before);
+  EXPECT_EQ(peer.Sentinel()->status.load(), Chunk::Status::kSentinel);
+  EXPECT_EQ(peer.Sentinel()->ro.load(), nullptr);
+}
+
+TEST(KiWiWhitebox, LocateFollowsListPastStaleIndex) {
+  KiWiConfig config;
+  config.chunk_capacity = 16;
+  KiWiMap map(config);
+  for (Key k = 0; k < 1000; ++k) map.Put(k, k);
+  KiWiTestPeer peer(map);
+  // Whatever the index returns, Locate must land on the covering chunk.
+  for (Key k = 0; k < 1000; k += 37) {
+    Chunk* chunk = peer.Locate(k);
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_LE(chunk->min_key, k);
+    Chunk* next = chunk->Next();
+    if (next != nullptr) EXPECT_GT(next->min_key, k);
+  }
+}
+
+TEST(KiWiWhitebox, OrphanedEngagementRecovers) {
+  KiWiConfig config;
+  config.chunk_capacity = 64;
+  KiWiMap map(config);
+  for (Key k = 0; k < 50; ++k) map.Put(k, k);
+
+  KiWiTestPeer peer(map);
+  peer.MakeOrphan(25);
+
+  // The chunk is frozen with a finished ro: without recovery this put would
+  // restart forever (the paper's engagement race, DESIGN.md §2.7).
+  map.Put(25, 999);
+  EXPECT_EQ(map.Get(25).value_or(-1), 999);
+
+  // No data lost through the recovery rebalance, and the list healed.
+  for (Key k = 0; k < 50; ++k) {
+    if (k == 25) continue;
+    ASSERT_EQ(map.Get(k).value_or(-1), k) << k;
+  }
+  map.CheckInvariants();
+  const auto statuses = peer.Statuses();
+  for (std::size_t i = 1; i < statuses.size(); ++i) {
+    EXPECT_EQ(statuses[i], Chunk::Status::kNormal);
+  }
+}
+
+TEST(KiWiWhitebox, OrphanRecoveryUnderGets) {
+  // Gets must keep answering from the frozen orphan until it is replaced.
+  KiWiConfig config;
+  config.chunk_capacity = 64;
+  KiWiMap map(config);
+  for (Key k = 0; k < 50; ++k) map.Put(k, k);
+  KiWiTestPeer peer(map);
+  peer.MakeOrphan(0);
+  // Reads against the frozen chunk still work (wait-free reads never care
+  // about chunk status)...
+  for (Key k = 0; k < 50; ++k) ASSERT_EQ(map.Get(k).value_or(-1), k);
+  // ...and a write triggers recovery.
+  map.Put(7, 777);
+  EXPECT_EQ(map.Get(7).value_or(-1), 777);
+  map.CheckInvariants();
+}
+
+TEST(KiWiWhitebox, ScanThroughFrozenOrphan) {
+  KiWiConfig config;
+  config.chunk_capacity = 64;
+  KiWiMap map(config);
+  for (Key k = 0; k < 50; ++k) map.Put(k, k);
+  KiWiTestPeer peer(map);
+  peer.MakeOrphan(25);
+  std::vector<KiWiMap::Entry> out;
+  ASSERT_EQ(map.Scan(0, 49, out), 50u);
+  for (Key k = 0; k < 50; ++k) EXPECT_EQ(out[k].second, k);
+}
+
+TEST(KiWiWhitebox, ReclamationKeepsFrozenChunksForReaders) {
+  KiWiConfig config;
+  config.chunk_capacity = 16;
+  KiWiMap map(config);
+  KiWiTestPeer peer(map);
+  for (Key k = 0; k < 500; ++k) map.Put(k, k);
+  // Hold a guard (simulating a slow reader) and churn rebalances: pending
+  // reclamation must accumulate instead of freeing under the reader.
+  {
+    reclaim::EbrGuard reader(peer.Ebr());
+    const std::size_t before = peer.Ebr().PendingCount();
+    for (Key k = 0; k < 500; ++k) map.Put(k, k + 1);
+    map.CompactAll();
+    EXPECT_GT(peer.Ebr().PendingCount(), before);
+  }
+  map.DrainReclamation();
+  EXPECT_EQ(peer.Ebr().PendingCount(), 0u);
+}
+
+}  // namespace
+}  // namespace kiwi::core

@@ -1,0 +1,62 @@
+// Tests for the CSV emission contract between the benches and
+// scripts/render_results.py: the format is load-bearing for reproduction.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+
+namespace kiwi::harness {
+namespace {
+
+TEST(MetricsCsv, RowFormatIsStable) {
+  ::testing::internal::CaptureStdout();
+  EmitCsv("fig3get", "kiwi", 4, 5.25, "Mkeys/s");
+  const std::string output = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(output, "csv,fig3get,kiwi,4,5.25,Mkeys/s\n");
+}
+
+TEST(MetricsCsv, LargeAndTinyValuesStayParseable) {
+  ::testing::internal::CaptureStdout();
+  EmitCsv("f", "s", 131072, 0.000123, "u");
+  EmitCsv("f", "s", 2, 1.0e9, "u");
+  const std::string output = ::testing::internal::GetCapturedStdout();
+  // Six comma-separated fields per line, numeric x/y.
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < output.size()) {
+    const std::size_t end = output.find('\n', start);
+    const std::string line = output.substr(start, end - start);
+    std::size_t commas = 0;
+    for (const char c : line) commas += (c == ',');
+    EXPECT_EQ(commas, 5u) << line;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(MetricsNote, PrefixedForFiltering) {
+  ::testing::internal::CaptureStdout();
+  Note("hello world");
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(), "# hello world\n");
+}
+
+TEST(MetricsFormat, HumanReadableHelpers) {
+  EXPECT_EQ(FormatMps(0.0), "0.000 M/s");
+  EXPECT_EQ(FormatMps(123456789.0), "123.457 M/s");
+  EXPECT_EQ(FormatMb(0), "0.00 MB");
+  EXPECT_EQ(FormatMb(512 * 1024), "0.50 MB");
+}
+
+TEST(MetricsParse, ListEdgeCases) {
+  std::vector<std::uint64_t> values;
+  EXPECT_TRUE(ParseUintList("0", &values));
+  EXPECT_EQ(values[0], 0u);
+  EXPECT_TRUE(ParseUintList("18446744073709551615", &values));
+  EXPECT_EQ(values[0], ~std::uint64_t{0});
+  EXPECT_FALSE(ParseUintList(",1", &values));
+  EXPECT_FALSE(ParseUintList("1,", &values));
+  EXPECT_FALSE(ParseUintList("1 2", &values));
+}
+
+}  // namespace
+}  // namespace kiwi::harness

@@ -1,0 +1,201 @@
+// Unit + stress tests for the reclamation backends (EBR, hazard pointers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclaim/ebr.h"
+#include "reclaim/hazard.h"
+
+namespace kiwi::reclaim {
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>& counter) : alive(counter) {
+    alive.fetch_add(1);
+  }
+  ~Tracked() { alive.fetch_sub(1); }
+  std::atomic<int>& alive;
+};
+
+TEST(Ebr, RetiredObjectNotFreedUnderActiveGuard) {
+  Ebr ebr;
+  std::atomic<int> alive{0};
+  auto* object = new Tracked(alive);
+  {
+    EbrGuard guard(ebr);
+    ebr.RetireObject(object);
+    // Force many collection attempts; our own guard pins the epoch, so at
+    // most one advance can happen and the object must survive.
+    for (int i = 0; i < 10; ++i) ebr.Collect();
+    EXPECT_EQ(alive.load(), 1);
+  }
+  // After the guard drops, a few collects free it (needs +2 epochs).
+  for (int i = 0; i < 4 && alive.load() > 0; ++i) {
+    EbrGuard guard(ebr);
+    ebr.Collect();
+  }
+  EXPECT_EQ(alive.load(), 0);
+  EXPECT_EQ(ebr.PendingCount(), 0u);
+}
+
+TEST(Ebr, GuardsAreReentrant) {
+  Ebr ebr;
+  EbrGuard outer(ebr);
+  {
+    EbrGuard inner(ebr);
+    EbrGuard innermost(ebr);
+  }
+  // Exiting inner guards must not deactivate the outer one: retire+collect
+  // cannot free while we are still inside.
+  std::atomic<int> alive{0};
+  ebr.RetireObject(new Tracked(alive));
+  for (int i = 0; i < 10; ++i) ebr.Collect();
+  EXPECT_EQ(alive.load(), 1);
+}
+
+TEST(Ebr, DestructorDrainsEverything) {
+  std::atomic<int> alive{0};
+  {
+    Ebr ebr;
+    EbrGuard guard(ebr);
+    for (int i = 0; i < 100; ++i) ebr.RetireObject(new Tracked(alive));
+    EXPECT_GT(alive.load(), 0);
+  }
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(Ebr, CollectAllQuiescentFreesImmediately) {
+  Ebr ebr;
+  std::atomic<int> alive{0};
+  {
+    EbrGuard guard(ebr);
+    for (int i = 0; i < 50; ++i) ebr.RetireObject(new Tracked(alive));
+  }
+  EXPECT_EQ(ebr.CollectAllQuiescent(), 50u);
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(Ebr, EpochAdvancesWhenQuiescent) {
+  std::atomic<int> alive{0};
+  Ebr ebr;  // destructs before `alive`
+  const std::uint64_t before = ebr.GlobalEpoch();
+  for (int i = 0; i < 3; ++i) {
+    EbrGuard guard(ebr);
+    ebr.RetireObject(new Tracked(alive));
+    ebr.Collect();
+  }
+  EXPECT_GT(ebr.GlobalEpoch(), before);
+}
+
+// Readers chase a shared pointer while a writer keeps swapping and retiring
+// the old target; ASan (run in CI config) catches any premature free.
+TEST(Ebr, SwapAndReadStress) {
+  Ebr ebr;
+  std::atomic<int> alive{0};
+  std::atomic<Tracked*> shared{new Tracked(alive)};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EbrGuard guard(ebr);
+        Tracked* current = shared.load(std::memory_order_acquire);
+        // Touch the object: must still be alive.
+        ASSERT_GE(current->alive.load(), 1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      EbrGuard guard(ebr);
+      auto* fresh = new Tracked(alive);
+      Tracked* old = shared.exchange(fresh, std::memory_order_acq_rel);
+      ebr.RetireObject(old);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  delete shared.load();
+  // Everything else must drain by destruction (checked by Tracked count).
+  ebr.CollectAllQuiescent();
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(Hazard, ProtectedObjectSurvivesCollect) {
+  HazardDomain domain;
+  std::atomic<int> alive{0};
+  auto* object = new Tracked(alive);
+  std::atomic<Tracked*> source{object};
+  HazardPointer hp(domain);
+  Tracked* protected_ptr = hp.ProtectFrom(source);
+  EXPECT_EQ(protected_ptr, object);
+  domain.RetireObject(object);
+  EXPECT_EQ(domain.Collect(), 0u);  // protected: must not free
+  EXPECT_EQ(alive.load(), 1);
+  hp.Clear();
+  EXPECT_EQ(domain.Collect(), 1u);
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(Hazard, ProtectFromRestartsOnMove) {
+  HazardDomain domain;
+  std::atomic<int> alive{0};
+  auto* a = new Tracked(alive);
+  auto* b = new Tracked(alive);
+  std::atomic<Tracked*> source{a};
+  HazardPointer hp(domain);
+  // Single-threaded: ProtectFrom returns whatever is current.
+  EXPECT_EQ(hp.ProtectFrom(source), a);
+  source.store(b);
+  EXPECT_EQ(hp.ProtectFrom(source), b);
+  delete a;
+  delete b;
+}
+
+TEST(Hazard, SlotsReleasedOnDestruction) {
+  HazardDomain domain(2);
+  for (int round = 0; round < 10; ++round) {
+    HazardPointer first(domain);
+    HazardPointer second(domain);
+    // A third acquisition in the same scope would abort (2 per thread);
+    // destruction at scope end must recycle both.
+  }
+  SUCCEED();
+}
+
+TEST(Hazard, SwapAndReadStress) {
+  HazardDomain domain;
+  std::atomic<int> alive{0};
+  std::atomic<Tracked*> shared{new Tracked(alive)};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      HazardPointer hp(domain);
+      while (!stop.load(std::memory_order_acquire)) {
+        Tracked* current = hp.ProtectFrom(shared);
+        ASSERT_GE(current->alive.load(), 1);
+        hp.Clear();
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      auto* fresh = new Tracked(alive);
+      Tracked* old = shared.exchange(fresh, std::memory_order_acq_rel);
+      domain.RetireObject(old);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  delete shared.load();
+}
+
+}  // namespace
+}  // namespace kiwi::reclaim

@@ -1,0 +1,106 @@
+// Integration "shape" tests: the paper's qualitative performance claims as
+// assertions, with very conservative factors so they hold on any machine
+// (including single-core CI).  These are the claims EXPERIMENTS.md tracks;
+// the benches measure them precisely, this suite guards them in CI.
+#include <gtest/gtest.h>
+
+#include "harness/driver.h"
+#include "harness/workload.h"
+
+namespace kiwi {
+namespace {
+
+harness::DriverOptions QuickOptions(std::uint64_t initial_size) {
+  harness::DriverOptions options;
+  options.warmup_ms = 40;
+  options.iteration_ms = 150;
+  options.iterations = 2;
+  options.initial_size = initial_size;
+  return options;
+}
+
+double ScanOnlyThroughput(api::MapKind kind, std::uint64_t dataset,
+                          std::uint64_t scan_size) {
+  auto map = api::MakeMap(kind);
+  std::vector<harness::Role> roles{
+      {"scan", 2, harness::WorkloadSpec::ScanOnly(dataset * 2, scan_size)}};
+  return harness::RunWorkload(*map, roles, QuickOptions(dataset))
+      .Role("scan")
+      .KeysPerSec();
+}
+
+double OrderedPutThroughput(api::MapKind kind) {
+  auto map = api::MakeMap(kind);
+  // Ordered prefill to establish the degeneration, then measure.
+  for (Key k = 0; k < 30000; ++k) map->Put(k - 30000, k);
+  std::vector<harness::Role> roles{
+      {"put", 2, harness::WorkloadSpec::OrderedPuts()}};
+  return harness::RunWorkload(*map, roles, QuickOptions(0))
+      .Role("put")
+      .OpsPerSec();
+}
+
+// §1: "KiWi's atomic scans are two times faster than the non-atomic ones
+// offered by the Java skiplist."  Conservative bound: 1.3x.
+TEST(Shape, KiwiScansBeatSkiplistScans) {
+  const double kiwi = ScanOnlyThroughput(api::MapKind::kKiWi, 30000, 8192);
+  const double skiplist =
+      ScanOnlyThroughput(api::MapKind::kSkipList, 30000, 8192);
+  RecordProperty("kiwi_mkeys", static_cast<int>(kiwi / 1e6));
+  RecordProperty("skiplist_mkeys", static_cast<int>(skiplist / 1e6));
+  EXPECT_GT(kiwi, 1.3 * skiplist)
+      << "kiwi " << kiwi << " vs skiplist " << skiplist;
+}
+
+// Fig. 3(c): KiWi's scans lead the k-ary tree.  Conservative bound: 1.2x.
+TEST(Shape, KiwiScansBeatKaryScans) {
+  const double kiwi = ScanOnlyThroughput(api::MapKind::kKiWi, 30000, 8192);
+  const double kary =
+      ScanOnlyThroughput(api::MapKind::kKaryTree, 30000, 8192);
+  EXPECT_GT(kiwi, 1.2 * kary) << "kiwi " << kiwi << " vs kary " << kary;
+}
+
+// §6.2: the k-ary tree collapses under ordered insertion while KiWi keeps
+// its rate.  Paper factor: 730x; conservative bound here: 3x.
+TEST(Shape, OrderedInsertionCollapsesKaryNotKiwi) {
+  const double kiwi = OrderedPutThroughput(api::MapKind::kKiWi);
+  const double kary = OrderedPutThroughput(api::MapKind::kKaryTree);
+  EXPECT_GT(kiwi, 3.0 * kary) << "kiwi " << kiwi << " vs kary " << kary;
+}
+
+// Fig. 4(d): SnapTree's puts starve under concurrent scans while KiWi's do
+// not.  Conservative bound: 1.5x.
+TEST(Shape, KiwiPutsBeatSnaptreePutsUnderScans) {
+  const auto mixed = [](api::MapKind kind) {
+    auto map = api::MakeMap(kind);
+    std::vector<harness::Role> roles{
+        {"scan", 2, harness::WorkloadSpec::ScanOnly(60000, 8192)},
+        {"put", 2, harness::WorkloadSpec::PutOnly(60000)}};
+    return harness::RunWorkload(*map, roles, QuickOptions(30000))
+        .Role("put")
+        .OpsPerSec();
+  };
+  const double kiwi = mixed(api::MapKind::kKiWi);
+  const double snaptree = mixed(api::MapKind::kSnapTree);
+  EXPECT_GT(kiwi, 1.5 * snaptree)
+      << "kiwi " << kiwi << " vs snaptree " << snaptree;
+}
+
+// §2: Ctrie-style full snapshots make small range queries pay for the whole
+// map.  Conservative bound: KiWi 5x faster on 128-key ranges.
+TEST(Shape, PartialScansBeatFullSnapshotsOnSmallRanges) {
+  const auto small_ranges = [](api::MapKind kind) {
+    auto map = api::MakeMap(kind);
+    std::vector<harness::Role> roles{
+        {"scan", 1, harness::WorkloadSpec::ScanOnly(60000, 128)}};
+    return harness::RunWorkload(*map, roles, QuickOptions(30000))
+        .Role("scan")
+        .OpsPerSec();
+  };
+  const double kiwi = small_ranges(api::MapKind::kKiWi);
+  const double ctrie = small_ranges(api::MapKind::kCtrie);
+  EXPECT_GT(kiwi, 5.0 * ctrie) << "kiwi " << kiwi << " vs ctrie " << ctrie;
+}
+
+}  // namespace
+}  // namespace kiwi
