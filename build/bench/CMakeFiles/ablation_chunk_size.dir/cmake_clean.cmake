@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunk_size.dir/ablation_chunk_size.cpp.o"
+  "CMakeFiles/ablation_chunk_size.dir/ablation_chunk_size.cpp.o.d"
+  "ablation_chunk_size"
+  "ablation_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_snapshot_cost.dir/extra_snapshot_cost.cpp.o"
+  "CMakeFiles/extra_snapshot_cost.dir/extra_snapshot_cost.cpp.o.d"
+  "extra_snapshot_cost"
+  "extra_snapshot_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_snapshot_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

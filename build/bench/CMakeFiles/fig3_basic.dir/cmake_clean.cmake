@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_basic.dir/fig3_basic.cpp.o"
+  "CMakeFiles/fig3_basic.dir/fig3_basic.cpp.o.d"
+  "fig3_basic"
+  "fig3_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

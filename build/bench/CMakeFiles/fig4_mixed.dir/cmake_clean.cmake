@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mixed.dir/fig4_mixed.cpp.o"
+  "CMakeFiles/fig4_mixed.dir/fig4_mixed.cpp.o.d"
+  "fig4_mixed"
+  "fig4_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ordered.dir/fig6_ordered.cpp.o"
+  "CMakeFiles/fig6_ordered.dir/fig6_ordered.cpp.o.d"
+  "fig6_ordered"
+  "fig6_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_dashboard.dir/analytics_dashboard.cpp.o"
+  "CMakeFiles/analytics_dashboard.dir/analytics_dashboard.cpp.o.d"
+  "analytics_dashboard"
+  "analytics_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_maps.dir/compare_maps.cpp.o"
+  "CMakeFiles/compare_maps.dir/compare_maps.cpp.o.d"
+  "compare_maps"
+  "compare_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

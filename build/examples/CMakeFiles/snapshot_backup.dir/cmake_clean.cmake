@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_backup.dir/snapshot_backup.cpp.o"
+  "CMakeFiles/snapshot_backup.dir/snapshot_backup.cpp.o.d"
+  "snapshot_backup"
+  "snapshot_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_ingest.dir/stream_ingest.cpp.o"
+  "CMakeFiles/stream_ingest.dir/stream_ingest.cpp.o.d"
+  "stream_ingest"
+  "stream_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

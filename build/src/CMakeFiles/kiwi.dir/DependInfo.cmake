@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ctrie/hash_trie.cpp" "src/CMakeFiles/kiwi.dir/baselines/ctrie/hash_trie.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/baselines/ctrie/hash_trie.cpp.o.d"
+  "/root/repo/src/baselines/kary/kary_tree.cpp" "src/CMakeFiles/kiwi.dir/baselines/kary/kary_tree.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/baselines/kary/kary_tree.cpp.o.d"
+  "/root/repo/src/baselines/skiplist/skiplist.cpp" "src/CMakeFiles/kiwi.dir/baselines/skiplist/skiplist.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/baselines/skiplist/skiplist.cpp.o.d"
+  "/root/repo/src/baselines/snaptree/cow_tree.cpp" "src/CMakeFiles/kiwi.dir/baselines/snaptree/cow_tree.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/baselines/snaptree/cow_tree.cpp.o.d"
+  "/root/repo/src/common/thread_registry.cpp" "src/CMakeFiles/kiwi.dir/common/thread_registry.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/common/thread_registry.cpp.o.d"
+  "/root/repo/src/core/chunk.cpp" "src/CMakeFiles/kiwi.dir/core/chunk.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/core/chunk.cpp.o.d"
+  "/root/repo/src/core/kiwi_map.cpp" "src/CMakeFiles/kiwi.dir/core/kiwi_map.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/core/kiwi_map.cpp.o.d"
+  "/root/repo/src/core/rebalance.cpp" "src/CMakeFiles/kiwi.dir/core/rebalance.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/core/rebalance.cpp.o.d"
+  "/root/repo/src/core/version.cpp" "src/CMakeFiles/kiwi.dir/core/version.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/core/version.cpp.o.d"
+  "/root/repo/src/harness/driver.cpp" "src/CMakeFiles/kiwi.dir/harness/driver.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/harness/driver.cpp.o.d"
+  "/root/repo/src/harness/linearizability.cpp" "src/CMakeFiles/kiwi.dir/harness/linearizability.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/harness/linearizability.cpp.o.d"
+  "/root/repo/src/harness/metrics.cpp" "src/CMakeFiles/kiwi.dir/harness/metrics.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/harness/metrics.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/kiwi.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/harness/workload.cpp.o.d"
+  "/root/repo/src/index/chunk_index.cpp" "src/CMakeFiles/kiwi.dir/index/chunk_index.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/index/chunk_index.cpp.o.d"
+  "/root/repo/src/reclaim/ebr.cpp" "src/CMakeFiles/kiwi.dir/reclaim/ebr.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/reclaim/ebr.cpp.o.d"
+  "/root/repo/src/reclaim/hazard.cpp" "src/CMakeFiles/kiwi.dir/reclaim/hazard.cpp.o" "gcc" "src/CMakeFiles/kiwi.dir/reclaim/hazard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for kiwi.
+# This may be replaced when dependencies are built.

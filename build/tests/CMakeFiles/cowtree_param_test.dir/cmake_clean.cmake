@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowtree_param_test.dir/cowtree_param_test.cpp.o"
+  "CMakeFiles/cowtree_param_test.dir/cowtree_param_test.cpp.o.d"
+  "cowtree_param_test"
+  "cowtree_param_test.pdb"
+  "cowtree_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowtree_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_trie_test.dir/hash_trie_test.cpp.o"
+  "CMakeFiles/hash_trie_test.dir/hash_trie_test.cpp.o.d"
+  "hash_trie_test"
+  "hash_trie_test.pdb"
+  "hash_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kary_param_test.dir/kary_param_test.cpp.o"
+  "CMakeFiles/kary_param_test.dir/kary_param_test.cpp.o.d"
+  "kary_param_test"
+  "kary_param_test.pdb"
+  "kary_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kary_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

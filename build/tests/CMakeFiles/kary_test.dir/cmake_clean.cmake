@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kary_test.dir/kary_test.cpp.o"
+  "CMakeFiles/kary_test.dir/kary_test.cpp.o.d"
+  "kary_test"
+  "kary_test.pdb"
+  "kary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

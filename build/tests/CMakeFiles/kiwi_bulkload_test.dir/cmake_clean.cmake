@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiwi_bulkload_test.dir/kiwi_bulkload_test.cpp.o"
+  "CMakeFiles/kiwi_bulkload_test.dir/kiwi_bulkload_test.cpp.o.d"
+  "kiwi_bulkload_test"
+  "kiwi_bulkload_test.pdb"
+  "kiwi_bulkload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiwi_bulkload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

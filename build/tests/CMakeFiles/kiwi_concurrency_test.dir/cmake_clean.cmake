@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiwi_concurrency_test.dir/kiwi_concurrency_test.cpp.o"
+  "CMakeFiles/kiwi_concurrency_test.dir/kiwi_concurrency_test.cpp.o.d"
+  "kiwi_concurrency_test"
+  "kiwi_concurrency_test.pdb"
+  "kiwi_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiwi_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiwi_map_test.dir/kiwi_map_test.cpp.o"
+  "CMakeFiles/kiwi_map_test.dir/kiwi_map_test.cpp.o.d"
+  "kiwi_map_test"
+  "kiwi_map_test.pdb"
+  "kiwi_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiwi_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiwi_race_injection_test.dir/kiwi_race_injection_test.cpp.o"
+  "CMakeFiles/kiwi_race_injection_test.dir/kiwi_race_injection_test.cpp.o.d"
+  "kiwi_race_injection_test"
+  "kiwi_race_injection_test.pdb"
+  "kiwi_race_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiwi_race_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiwi_snapshot_test.dir/kiwi_snapshot_test.cpp.o"
+  "CMakeFiles/kiwi_snapshot_test.dir/kiwi_snapshot_test.cpp.o.d"
+  "kiwi_snapshot_test"
+  "kiwi_snapshot_test.pdb"
+  "kiwi_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiwi_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiwi_whitebox_test.dir/kiwi_whitebox_test.cpp.o"
+  "CMakeFiles/kiwi_whitebox_test.dir/kiwi_whitebox_test.cpp.o.d"
+  "kiwi_whitebox_test"
+  "kiwi_whitebox_test.pdb"
+  "kiwi_whitebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiwi_whitebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_render_test.dir/metrics_render_test.cpp.o"
+  "CMakeFiles/metrics_render_test.dir/metrics_render_test.cpp.o.d"
+  "metrics_render_test"
+  "metrics_render_test.pdb"
+  "metrics_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_property_test.dir/oracle_property_test.cpp.o"
+  "CMakeFiles/oracle_property_test.dir/oracle_property_test.cpp.o.d"
+  "oracle_property_test"
+  "oracle_property_test.pdb"
+  "oracle_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

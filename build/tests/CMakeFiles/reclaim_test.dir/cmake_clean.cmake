@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_test.dir/reclaim_test.cpp.o"
+  "CMakeFiles/reclaim_test.dir/reclaim_test.cpp.o.d"
+  "reclaim_test"
+  "reclaim_test.pdb"
+  "reclaim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

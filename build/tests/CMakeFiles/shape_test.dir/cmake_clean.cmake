@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_test.dir/shape_test.cpp.o"
+  "CMakeFiles/shape_test.dir/shape_test.cpp.o.d"
+  "shape_test"
+  "shape_test.pdb"
+  "shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaptree_test.dir/snaptree_test.cpp.o"
+  "CMakeFiles/snaptree_test.dir/snaptree_test.cpp.o.d"
+  "snaptree_test"
+  "snaptree_test.pdb"
+  "snaptree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_test.dir/version_test.cpp.o"
+  "CMakeFiles/version_test.dir/version_test.cpp.o.d"
+  "version_test"
+  "version_test.pdb"
+  "version_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/reclaim_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_test[1]_include.cmake")
+include("/root/repo/build/tests/version_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/kiwi_map_test[1]_include.cmake")
+include("/root/repo/build/tests/kiwi_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/kary_test[1]_include.cmake")
+include("/root/repo/build/tests/snaptree_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_property_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_trie_test[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/kiwi_whitebox_test[1]_include.cmake")
+include("/root/repo/build/tests/kiwi_race_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/kiwi_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/kary_param_test[1]_include.cmake")
+include("/root/repo/build/tests/kiwi_bulkload_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_render_test[1]_include.cmake")
+include("/root/repo/build/tests/cowtree_param_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
