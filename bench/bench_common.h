@@ -36,6 +36,10 @@ struct BenchConfig {
   std::uint64_t dataset_size = 50'000;   // paper: 1M (10M for 4(c,f))
   harness::DriverOptions driver;
   std::string panel;  // free-form selector (fig4)
+  /// --obs / KIWI_BENCH_OBS=1: after each KiWi run, print the map's
+  /// DebugReport as an `obsjson,<figure>,<series>,<json>` row (rendered by
+  /// scripts/render_results.py; schema in docs/OBSERVABILITY.md).
+  bool obs = false;
 
   std::uint64_t KeyRange() const { return dataset_size * 2; }
 };
@@ -53,6 +57,7 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
   if (const char* env = std::getenv("KIWI_BENCH_THREADS")) {
     harness::ParseUintList(env, &config.threads);
   }
+  config.obs = EnvOrU64("KIWI_BENCH_OBS", 0) != 0;
   config.driver = harness::DriverOptions::FromEnv();
 
   for (int i = 1; i < argc; ++i) {
@@ -84,11 +89,14 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       config.dataset_size = std::strtoull(value, nullptr, 10);
     } else if (const char* value = value_of("--panel=")) {
       config.panel = value;
+    } else if (arg == "--obs") {
+      config.obs = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --maps=kiwi,kary,skiplist,snaptree --threads=1,2,4 "
-          "--size=N --panel=X\nenv: KIWI_BENCH_SIZE, KIWI_BENCH_THREADS, "
-          "KIWI_BENCH_WARMUP_MS, KIWI_BENCH_ITER_MS, KIWI_BENCH_ITERS\n");
+          "--size=N --panel=X --obs\nenv: KIWI_BENCH_SIZE, "
+          "KIWI_BENCH_THREADS, KIWI_BENCH_WARMUP_MS, KIWI_BENCH_ITER_MS, "
+          "KIWI_BENCH_ITERS, KIWI_BENCH_OBS\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
@@ -96,6 +104,20 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
     }
   }
   return config;
+}
+
+/// If `map` is a KiWi instance and --obs is on, emit its DebugReport as one
+/// machine-readable row:  obsjson,<figure>,<series>,<one-line JSON>.
+/// scripts/render_results.py turns these into per-series latency tables.
+inline void EmitObsReport(const BenchConfig& config, const std::string& figure,
+                          const std::string& series, api::IOrderedMap& map) {
+  if (!config.obs) return;
+  auto* adapter = dynamic_cast<api::MapAdapter<core::KiWiMap>*>(&map);
+  if (adapter == nullptr) return;  // only KiWi carries an obs registry
+  const std::string json = adapter->Underlying().DebugReport().ToJson();
+  std::printf("obsjson,%s,%s,%s\n", figure.c_str(), series.c_str(),
+              json.c_str());
+  std::fflush(stdout);
 }
 
 inline void DescribeEnvironment(const BenchConfig& config,

@@ -38,6 +38,8 @@ void RunPanel(const bench::BenchConfig& config, const std::string& op) {
                     std::to_string(threads) + " -> " +
                     harness::FormatMps(role.KeysPerSec()) + " (" +
                     std::to_string(role.ops) + " ops)");
+      bench::EmitObsReport(config, "fig3" + op,
+                           map->Name() + "@" + std::to_string(threads), *map);
     }
   }
 }

@@ -21,19 +21,20 @@ struct MixedResult {
   double put_mops;
 };
 
-MixedResult RunMixed(api::MapKind kind, std::uint64_t dataset,
-                     std::uint64_t scan_threads, std::uint64_t put_threads,
-                     std::uint64_t scan_size,
-                     const harness::DriverOptions& base) {
+MixedResult RunMixed(const bench::BenchConfig& config, api::MapKind kind,
+                     std::uint64_t dataset, std::uint64_t scan_threads,
+                     std::uint64_t put_threads, std::uint64_t scan_size,
+                     const std::string& obs_series) {
   auto map = api::MakeMap(kind);
   const std::uint64_t key_range = dataset * 2;
   std::vector<harness::Role> roles{
       {"scan", scan_threads,
        harness::WorkloadSpec::ScanOnly(key_range, scan_size)},
       {"put", put_threads, harness::WorkloadSpec::PutOnly(key_range)}};
-  harness::DriverOptions options = base;
+  harness::DriverOptions options = config.driver;
   options.initial_size = dataset;
   const harness::RunResult result = harness::RunWorkload(*map, roles, options);
+  bench::EmitObsReport(config, "fig4", obs_series, *map);
   return MixedResult{result.Role("scan").KeysPerSec() / 1e6,
                      result.Role("put").OpsPerSec() / 1e6};
 }
@@ -64,8 +65,9 @@ int main(int argc, char** argv) {
     const std::string name = api::KindName(kind);
     if (want("a") || want("d")) {
       for (const std::uint64_t threads : config.threads) {
-        const MixedResult r = RunMixed(kind, small, threads, threads,
-                                       default_scan, config.driver);
+        const MixedResult r =
+            RunMixed(config, kind, small, threads, threads, default_scan,
+                     name + "@a,d:" + std::to_string(threads));
         harness::EmitCsv("fig4a", name, static_cast<double>(threads),
                          r.scan_mkeys, "Mkeys/s");
         harness::EmitCsv("fig4d", name, static_cast<double>(threads),
@@ -79,8 +81,9 @@ int main(int argc, char** argv) {
     if (want("b") || want("e")) {
       for (const std::uint64_t range : ranges) {
         const MixedResult r =
-            RunMixed(kind, small, sweep_threads / 2, sweep_threads / 2,
-                     range, config.driver);
+            RunMixed(config, kind, small, sweep_threads / 2,
+                     sweep_threads / 2, range,
+                     name + "@b,e:" + std::to_string(range));
         harness::EmitCsv("fig4b", name, static_cast<double>(range),
                          r.scan_mkeys, "Mkeys/s");
         harness::EmitCsv("fig4e", name, static_cast<double>(range),
@@ -93,8 +96,9 @@ int main(int argc, char** argv) {
     if (want("c") || want("f")) {
       for (const std::uint64_t range : ranges) {
         const MixedResult r =
-            RunMixed(kind, large, sweep_threads / 2, sweep_threads / 2,
-                     range, config.driver);
+            RunMixed(config, kind, large, sweep_threads / 2,
+                     sweep_threads / 2, range,
+                     name + "@c,f:" + std::to_string(range));
         harness::EmitCsv("fig4c", name, static_cast<double>(range),
                          r.scan_mkeys, "Mkeys/s");
         harness::EmitCsv("fig4f", name, static_cast<double>(range),

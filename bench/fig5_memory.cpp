@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
       harness::Note("  " + map->Name() + " scan_threads=" +
                     std::to_string(scan_threads) + " -> " +
                     harness::FormatMb(result.memory_bytes));
+      bench::EmitObsReport(config, "fig5",
+                           map->Name() + "@" + std::to_string(scan_threads),
+                           *map);
     }
   }
   harness::Note("note: footprints are structure-reported live bytes after "

@@ -64,6 +64,9 @@ int main(int argc, char** argv) {
                   harness::FormatMps(random) + " (" +
                   std::to_string(random > 0 ? ordered / random : 0) +
                   "x of random)");
+    bench::EmitObsReport(config, "fig6",
+                         std::string(api::KindName(kind)) + "@ordered",
+                         *ordered_map);
     if (kind == api::MapKind::kKiWi) kiwi_ordered = ordered;
     if (kind == api::MapKind::kKaryTree) kary_ordered = ordered;
   }

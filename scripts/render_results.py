@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render the benches' CSV rows as ASCII charts.
+"""Render the benches' CSV rows as ASCII charts (and obs reports as tables).
 
 Every bench binary prints machine-readable rows of the form
 
@@ -12,21 +12,60 @@ without any plotting stack:
     for b in build/bench/*; do $b; done | tee bench_output.txt
     python3 scripts/render_results.py bench_output.txt
 
+When a bench is run with --obs (or KIWI_BENCH_OBS=1) it additionally prints
+one KiWiMap::DebugReport per run as
+
+    obsjson,<figure>,<series>,<one-line JSON>
+
+(the schema is documented in docs/OBSERVABILITY.md).  Those rows are
+rendered as per-figure latency/counter tables after the charts.
+
 Pure standard library; no dependencies.
 """
+import json
 import sys
 from collections import defaultdict
 
 
 BAR_WIDTH = 44
 
+# Key counters worth showing per run; anything else stays in the JSON.
+OBS_COUNTERS = (
+    "puts", "gets", "scans", "rebalances", "puts_helped", "put_restarts",
+)
+OBS_GAUGES = ("chunks", "batched_ratio", "ebr_pending")
+
 
 def parse(lines):
-    """figure -> series -> list of (x, y); plus figure -> unit."""
+    """csv rows -> (figure -> series -> [(x, y)], figure -> unit);
+    obsjson rows -> figure -> [(series, report dict)]."""
     figures = defaultdict(lambda: defaultdict(list))
     units = {}
+    reports = defaultdict(list)
     for line in lines:
         line = line.strip()
+        if line.startswith("obsjson,"):
+            parts = line.split(",", 2)
+            if len(parts) != 3:
+                continue
+            figure_and_series = parts[1], parts[2]
+            # The series itself may contain commas (e.g. "kiwi@a,d:16"), so
+            # split the payload off the *last* field by finding the JSON
+            # object start instead.
+            payload_at = line.find(",{")
+            if payload_at < 0:
+                continue
+            prefix = line[:payload_at].split(",", 2)
+            if len(prefix) != 3:
+                continue
+            _, figure, series = prefix
+            try:
+                report = json.loads(line[payload_at + 1:])
+            except json.JSONDecodeError:
+                continue
+            if "kiwi_debug_report" in report:
+                reports[figure].append((series, report))
+            continue
         if not line.startswith("csv,"):
             continue
         parts = line.split(",")
@@ -40,7 +79,7 @@ def parse(lines):
             continue
         figures[figure][series].append((x_value, y_value))
         units[figure] = unit
-    return figures, units
+    return figures, units, reports
 
 
 def format_x(x_value):
@@ -67,6 +106,44 @@ def render_figure(name, series_map, unit):
             print(f"    {format_x(x_value):>8} | {bar:<{BAR_WIDTH}} {y_value:g}")
 
 
+def format_count(value):
+    if value >= 10_000_000:
+        return f"{value / 1e6:.0f}M"
+    if value >= 10_000:
+        return f"{value / 1e3:.0f}K"
+    return str(value)
+
+
+def render_reports(name, rows):
+    """Latency percentiles and headline counters for one figure's runs."""
+    print(f"\n=== {name}  [observability] ===")
+    print(f"  {'series':<28} {'metric':<18} {'count':>7} "
+          f"{'p50':>7} {'p99':>7} {'p999':>8} {'max':>9}  (ns)")
+    for series, report in rows:
+        latency = report.get("latency_ns", {})
+        first = True
+        for metric, summary in latency.items():
+            if not summary.get("count"):
+                continue
+            label = series if first else ""
+            first = False
+            print(f"  {label:<28} {metric:<18} "
+                  f"{format_count(summary['count']):>7} "
+                  f"{summary['p50']:>7} {summary['p99']:>7} "
+                  f"{summary['p999']:>8} {summary['max']:>9}")
+        counters = report.get("counters", {})
+        gauges = report.get("gauges", {})
+        notes = [f"{key}={format_count(counters[key])}"
+                 for key in OBS_COUNTERS if counters.get(key)]
+        notes += [f"{key}={gauges[key]:g}" if isinstance(gauges.get(key), float)
+                  else f"{key}={format_count(gauges[key])}"
+                  for key in OBS_GAUGES if gauges.get(key)]
+        if first:  # stats compiled out: no latency rows at all
+            print(f"  {series:<28} (stats disabled: KIWI_STATS=OFF build)")
+        if notes:
+            print(f"  {'':<28} {'; '.join(notes)}")
+
+
 def main(argv):
     if len(argv) > 1 and argv[1] in ("-h", "--help"):
         print(__doc__)
@@ -76,14 +153,17 @@ def main(argv):
             lines = handle.readlines()
     else:
         lines = sys.stdin.readlines()
-    figures, units = parse(lines)
-    if not figures:
+    figures, units, reports = parse(lines)
+    if not figures and not reports:
         print("no csv rows found (expected lines like csv,fig3get,kiwi,4,5.2,Mkeys/s)")
         return 1
     for name in sorted(figures):
         render_figure(name, figures[name], units.get(name, "?"))
+    for name in sorted(reports):
+        render_reports(name, reports[name])
     print(f"\n{sum(len(s) for s in figures.values())} series across "
-          f"{len(figures)} figures.")
+          f"{len(figures)} figures; "
+          f"{sum(len(r) for r in reports.values())} obs reports.")
     return 0
 
 

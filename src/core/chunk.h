@@ -110,6 +110,11 @@ class Chunk {
   // ---- shared mutable state -------------------------------------------
   std::atomic<Status> status;
   std::atomic<RebalanceObject*> ro{nullptr};
+  /// Guards the retire/discard invariant: a chunk leaves the structure
+  /// exactly once (EBR retire by its sector's splice winner, or plain
+  /// delete of a never-published consensus-losing section).  A second
+  /// attempt means two rebalance generations claimed the same chunk.
+  std::atomic<bool> retired{false};
   /// Next chunk in the global list; the mark freezes it (rebalance stage 5).
   AtomicMarkedPtr<Chunk> next;
   /// Next free cell in `k` / value slot in `v`.  May exceed capacity; the

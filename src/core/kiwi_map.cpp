@@ -57,7 +57,7 @@ KiWiMap::KiWiMap(std::span<const Entry> sorted_entries, KiWiConfig config)
     auto* chunk =
         new Chunk(min_key, capacity, nullptr, Chunk::Status::kNormal,
                   std::span<const Chunk::Item>(items));
-    ThreadStats().chunks_created++;
+    KIWI_OBS_INC(obs_, chunks_created);
     if (begin == 0) {
       // Replace the initial empty chunk outright (single-threaded ctor).
       Chunk* initial = sentinel_->Next();
@@ -97,13 +97,18 @@ Chunk* KiWiMap::LocateChunk(Key key) const {
 
 void KiWiMap::Put(Key key, Value value) {
   KIWI_ASSERT(value != kTombstoneValue, "value reserved for tombstones");
+  KIWI_OBS_INC(obs_, puts);
+  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kPut, timer);
   PutImpl(key, value);
 }
 
 void KiWiMap::Remove(Key key) {
   // Deletion is a put of the tombstone (paper: "a put of the ⊥ value
   // removes the pair").  The tombstone flows through the same protocol and
-  // is filtered on the read side; rebalance compacts it away.
+  // is filtered on the read side; rebalance compacts it away.  Latencies
+  // land in the put histogram (a remove IS a put).
+  KIWI_OBS_INC(obs_, removes);
+  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kPut, timer);
   PutImpl(key, kTombstoneValue);
 }
 
@@ -123,7 +128,7 @@ void KiWiMap::PutImpl(Key key, Value value) {
     bool put_done = false;
     if (CheckRebalance(chunk, key, value, &put_done)) {
       if (put_done) return;
-      ThreadStats().put_restarts++;
+      KIWI_OBS_INC(obs_, put_restarts);
       continue;
     }
 
@@ -135,10 +140,10 @@ void KiWiMap::PutImpl(Key key, Value value) {
         chunk->k_counter.fetch_add(1, std::memory_order_seq_cst);
     if (j >= chunk->capacity || i > chunk->capacity) {
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
-        ThreadStats().puts_piggybacked++;
+        KIWI_OBS_INC(obs_, puts_piggybacked);
         return;
       }
-      ThreadStats().put_restarts++;
+      KIWI_OBS_INC(obs_, put_restarts);
       continue;
     }
     chunk->v[j] = value;
@@ -157,10 +162,10 @@ void KiWiMap::PutImpl(Key key, Value value) {
             expected, Chunk::PackPpa(Chunk::kPpaVerBottom, i),
             std::memory_order_seq_cst)) {
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
-        ThreadStats().puts_piggybacked++;
+        KIWI_OBS_INC(obs_, puts_piggybacked);
         return;
       }
-      ThreadStats().put_restarts++;
+      KIWI_OBS_INC(obs_, put_restarts);
       continue;
     }
     TestHooks::Run(TestHooks::put_before_version_cas);
@@ -173,16 +178,16 @@ void KiWiMap::PutImpl(Key key, Value value) {
     const Version version =
         Chunk::PpaVer(chunk->ppa[slot].load(std::memory_order_seq_cst));
     if (!own_cas && version != Chunk::kPpaVerFrozen) {
-      ThreadStats().puts_helped++;  // a scan or get installed our version
+      KIWI_OBS_INC(obs_, puts_helped);  // a scan or get installed our version
     }
     if (version == Chunk::kPpaVerFrozen) {
       // The chunk froze between our status check and version acquisition;
       // the entry stays frozen (this chunk is dead) and the put restarts.
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
-        ThreadStats().puts_piggybacked++;
+        KIWI_OBS_INC(obs_, puts_piggybacked);
         return;
       }
-      ThreadStats().put_restarts++;
+      KIWI_OBS_INC(obs_, put_restarts);
       continue;
     }
     cell.version = version;
@@ -220,6 +225,8 @@ void KiWiMap::PutImpl(Key key, Value value) {
 
 std::optional<Value> KiWiMap::Get(Key key) {
   KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+  KIWI_OBS_INC(obs_, gets);
+  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kGet, timer);
   reclaim::EbrGuard guard(ebr_);
   Chunk* chunk = LocateChunk(key);
   // Help any pending put to this key acquire a version: ignoring it could
@@ -227,6 +234,7 @@ std::optional<Value> KiWiMap::Get(Key key) {
   chunk->HelpPendingPuts(gv_, key, key);
   const Chunk::LatestResult latest = chunk->FindLatest(key, kMaxReadVersion);
   if (!latest.found || latest.is_tombstone) return std::nullopt;
+  KIWI_OBS_INC(obs_, get_hits);
   return latest.value;
 }
 
@@ -234,6 +242,8 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
                           const std::function<void(Key, Value)>& yield) {
   if (from_key < kMinUserKey) from_key = kMinUserKey;
   if (from_key > to_key) return 0;
+  KIWI_OBS_INC(obs_, scans);
+  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kScan, timer);
   const std::size_t slot = ThreadRegistry::CurrentSlot();
   PsaEntry& entry = psa_.Slot(slot);
 
@@ -257,6 +267,7 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
   }
 
   entry.Clear(seq);
+  KIWI_OBS_ADD(obs_, scan_keys, emitted);
   return emitted;
 }
 
@@ -363,6 +374,7 @@ KiWiMap::Snapshot::Snapshot(KiWiMap& map)
   seq_ = entry.PublishPending(kMinUserKey, kMaxUserKey);
   const Version fetched = map_.gv_.FetchIncrement();
   read_point_ = entry.InstallOwn(seq_, fetched);
+  KIWI_OBS_INC(map_.obs_, snapshots);
 }
 
 KiWiMap::Snapshot::~Snapshot() {
@@ -453,15 +465,16 @@ KiWiMap::StructureReport KiWiMap::Report() {
 
 KiWiStats KiWiMap::Stats() const {
   KiWiStats total;
-  for (const StatShard& shard : stat_shards_) {
-    total.rebalances += shard.stats.rebalances;
-    total.rebalance_wins += shard.stats.rebalance_wins;
-    total.put_restarts += shard.stats.put_restarts;
-    total.chunks_created += shard.stats.chunks_created;
-    total.chunks_retired += shard.stats.chunks_retired;
-    total.puts_piggybacked += shard.stats.puts_piggybacked;
-    total.puts_helped += shard.stats.puts_helped;
-  }
+#if KIWI_OBS_ENABLED
+  const obs::OpCounters counters = obs_.Aggregate();
+  total.rebalances = counters.rebalances;
+  total.rebalance_wins = counters.rebalance_wins;
+  total.put_restarts = counters.put_restarts;
+  total.chunks_created = counters.chunks_created;
+  total.chunks_retired = counters.chunks_retired;
+  total.puts_piggybacked = counters.puts_piggybacked;
+  total.puts_helped = counters.puts_helped;
+#endif
   return total;
 }
 
@@ -523,10 +536,6 @@ Xoshiro256& KiWiMap::ThreadRng() {
   thread_local Xoshiro256 rng(0x9e3779b97f4a7c15ULL ^
                               (ThreadRegistry::CurrentSlot() * 0x100000001b3ULL));
   return rng;
-}
-
-KiWiStats& KiWiMap::ThreadStats() const {
-  return stat_shards_[ThreadRegistry::CurrentSlot()].stats;
 }
 
 }  // namespace kiwi::core

@@ -39,11 +39,15 @@
 #include "core/rebalance_object.h"
 #include "core/version.h"
 #include "index/chunk_index.h"
+#include "obs/report.h"
 #include "reclaim/ebr.h"
 
 namespace kiwi::core {
 
-/// Operational counters, exposed for tests, benches and curiosity.
+/// Operational counters, exposed for tests, benches and curiosity.  A
+/// digest of the per-thread obs::StatsRegistry (see src/obs/) kept for API
+/// stability; new code should prefer DebugReport() / Observability().
+/// All fields read zero in a KIWI_STATS=OFF build.
 struct KiWiStats {
   std::uint64_t rebalances = 0;        // rebalance executions (incl. helpers)
   std::uint64_t rebalance_wins = 0;    // replace-stage CAS wins
@@ -141,6 +145,18 @@ class KiWiMap {
   /// Snapshot of operational counters (sums over threads; approximate
   /// under concurrency).
   KiWiStats Stats() const;
+
+  /// Full observability snapshot: counters, latency histograms and
+  /// structural-health gauges, renderable as text or one-line JSON.  See
+  /// docs/OBSERVABILITY.md.  Concurrent callers get a consistent-enough
+  /// estimate; quiescent callers exact numbers.
+  obs::DebugReport DebugReport();
+
+#if KIWI_OBS_ENABLED
+  /// Direct access to the counter shards and latency histograms (tests,
+  /// custom exporters).  Absent in KIWI_STATS=OFF builds.
+  obs::StatsRegistry& Observability() const { return obs_; }
+#endif
 
   /// Structural report over the current chunk list (quiescent callers get
   /// exact numbers; concurrent callers a consistent-enough estimate).
@@ -252,12 +268,11 @@ class KiWiMap {
   Psa snapshot_psa_[kMaxSnapshotsPerThread];
   Chunk* sentinel_;  // permanent list head, never engaged
 
-  // Stats, sharded by thread slot to stay off the hot path's shared state.
-  struct alignas(kCacheLineSize) StatShard {
-    KiWiStats stats;
-  };
-  mutable StatShard stat_shards_[kMaxThreads];
-  KiWiStats& ThreadStats() const;
+#if KIWI_OBS_ENABLED
+  // Counters (sharded by thread slot, off the hot path's shared state) and
+  // latency histograms.  Compiled out entirely with KIWI_STATS=OFF.
+  mutable obs::StatsRegistry obs_;
+#endif
 
   friend class KiWiTestPeer;
 };

@@ -55,7 +55,7 @@ bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
   if (full || frozen ||
       policy_.ShouldTrigger(allocated, chunk->batched_count, ThreadRng())) {
     *put_done = Rebalance(chunk, key, value, /*has_put=*/true);
-    if (*put_done) ThreadStats().puts_piggybacked++;
+    if (*put_done) KIWI_OBS_INC(obs_, puts_piggybacked);
     return true;
   }
   return false;
@@ -63,55 +63,72 @@ bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
 
 bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
   reclaim::EbrGuard guard(ebr_);
-  ThreadStats().rebalances++;
+  KIWI_OBS_INC(obs_, rebalances);
+  KIWI_OBS_TIMER(obs_, obs::Latency::kRebalance, whole_timer);
 
   // ---- stage 1: engage ------------------------------------------------
   Chunk* last = nullptr;
-  RebalanceObject* ro = Engage(chunk, &last);
+  RebalanceObject* ro;
+  {
+    KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceEngage, stage_timer);
+    ro = Engage(chunk, &last);
+  }
   if (ro == nullptr) return false;  // chunk already replaced; caller restarts
 
   // ---- stage 2: freeze ------------------------------------------------
-  for (Chunk* c = ro->first;; c = c->Next()) {
-    // Plain store, as in the paper: overwriting kInfant or kNormal with
-    // kFrozen is exactly the intent, and stage 7's CAS(infant -> normal)
-    // fails harmlessly afterwards.
-    c->status.store(Chunk::Status::kFrozen, std::memory_order_seq_cst);
-    c->FreezePpa();
-    if (c == last) break;
+  {
+    KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceFreeze, stage_timer);
+    for (Chunk* c = ro->first;; c = c->Next()) {
+      // Plain store, as in the paper: overwriting kInfant or kNormal with
+      // kFrozen is exactly the intent, and stage 7's CAS(infant -> normal)
+      // fails harmlessly afterwards.
+      c->status.store(Chunk::Status::kFrozen, std::memory_order_seq_cst);
+      c->FreezePpa();
+      if (c == last) break;
+    }
   }
 
   TestHooks::Run(TestHooks::rebalance_after_freeze);
 
-  // ---- stage 3: minimal version ----------------------------------------
+  // ---- stages 3-4: minimal version + build ------------------------------
   // The sector's key range is [first.minKey, succ.minKey); succ's minKey is
   // invariant even if the successor chunk itself gets replaced (replacement
   // heads inherit minKey), so this bound is stable.
-  Chunk* succ = last->Next();
-  const Key range_from = ro->first->min_key;
-  const Key range_to = succ != nullptr ? succ->min_key : 0;
-  const Version min_version =
-      ComputeMinVersion(range_from, range_to, /*bounded=*/succ != nullptr);
-
-  // ---- stage 4: build -------------------------------------------------
-  BuiltSection mine =
-      BuildSection(ro, last, min_version, key, value, has_put);
+  Version min_version;
+  BuiltSection mine;
+  {
+    KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceBuild, stage_timer);
+    Chunk* succ = last->Next();
+    const Key range_from = ro->first->min_key;
+    const Key range_to = succ != nullptr ? succ->min_key : 0;
+    min_version =
+        ComputeMinVersion(range_from, range_to, /*bounded=*/succ != nullptr);
+    mine = BuildSection(ro, last, min_version, key, value, has_put);
+  }
 
   // ---- stage 5: consensus + splice --------------------------------------
-  Chunk* expected_replacement = nullptr;
-  const bool consensus_winner = ro->replacement.compare_exchange_strong(
-      expected_replacement, mine.first, std::memory_order_seq_cst);
-  if (!consensus_winner) {
-    DiscardSection(mine.first);  // never published
-  }
-  TestHooks::Run(TestHooks::replace_before_splice);
+  bool consensus_winner = false;
   bool splice_winner = false;
-  Replace(ro, last, &splice_winner);
+  {
+    KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceReplace, stage_timer);
+    Chunk* expected_replacement = nullptr;
+    consensus_winner = ro->replacement.compare_exchange_strong(
+        expected_replacement, mine.first, std::memory_order_seq_cst);
+    if (!consensus_winner) {
+      DiscardSection(mine.first);  // never published
+    }
+    TestHooks::Run(TestHooks::replace_before_splice);
+    Replace(ro, last, &splice_winner);
+  }
 
   // ---- stages 6-7 -------------------------------------------------------
-  Normalize(ro);
+  {
+    KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceIndex, stage_timer);
+    Normalize(ro);
+  }
 
   if (splice_winner) {
-    ThreadStats().rebalance_wins++;
+    KIWI_OBS_INC(obs_, rebalance_wins);
     // Exactly one thread retires the old sector; concurrent readers inside
     // it are protected by their EBR guards.  The rebalance object itself is
     // reference-counted by the engaged chunks and dies with the last of
@@ -119,8 +136,14 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
     Chunk* c = ro->first;
     while (true) {
       Chunk* next = c->Next();
+      KIWI_ASSERT(next != nullptr || c == last,
+                  "retire walk fell off the list before reaching last — "
+                  "helpers disagreed on the engaged sector");
+      // Our own Replace call flagged the sector when its splice CAS won.
+      KIWI_ASSERT(c->retired.load(std::memory_order_relaxed),
+                  "splice winner retiring a chunk it never flagged");
       ebr_.RetireObject(c);
-      ThreadStats().chunks_retired++;
+      KIWI_OBS_INC(obs_, chunks_retired);
       if (c == last) break;
       c = next;
     }
@@ -130,6 +153,9 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
 }
 
 RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
+  // A retired chunk was spliced out by a finished rebalance; the caller
+  // reached it through a stale pointer and must restart its traversal.
+  if (chunk->retired.load(std::memory_order_acquire)) return nullptr;
   RebalanceObject* ro = nullptr;
   while (true) {
     RebalanceObject* existing = chunk->ro.load(std::memory_order_acquire);
@@ -202,7 +228,16 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
                                      std::memory_order_seq_cst);
   }
 
-  *last_out = FindLastEngaged(ro);
+  // Publish one consensus answer for "where does the engaged run end".
+  // Competing helpers may observe different run lengths (a successful
+  // engagement CAS can land after another helper already sealed ro->next),
+  // and every later stage — freeze, build, stitch, retire — must agree on
+  // the sector or a retired chunk can be left reachable.
+  Chunk* observed_last = FindLastEngaged(ro);
+  Chunk* expected_last = nullptr;
+  ro->last_engaged.compare_exchange_strong(expected_last, observed_last,
+                                           std::memory_order_seq_cst);
+  *last_out = ro->last_engaged.load(std::memory_order_acquire);
   return ro;
 }
 
@@ -254,7 +289,9 @@ Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
     // One F&I serves every pending scan found (paper lines 91-95).
     const Version helped_version = gv_.FetchIncrement();
     for (const PendingScan& p : to_help) {
-      p.entry->HelpInstall(p.seq, helped_version);
+      if (p.entry->HelpInstall(p.seq, helped_version)) {
+        KIWI_OBS_INC(obs_, scans_helped);
+      }
       // Whether our CAS or the scan's own won, account for the installed
       // version (if the scan has not already finished and moved on).
       const PsaEntry::VerSeq vs = p.entry->Load();
@@ -376,7 +413,7 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
         min_key, capacity, ro->first, Chunk::Status::kInfant,
         std::span<const Chunk::Item>(kept.data() + seg_begin,
                                      seg_end - seg_begin));
-    ThreadStats().chunks_created++;
+    KIWI_OBS_INC(obs_, chunks_created);
     if (prev_chunk != nullptr) {
       prev_chunk->next.Store(MarkedPtr<Chunk>(chunk, false));
     } else {
@@ -426,6 +463,19 @@ bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
     MarkedPtr<Chunk> expected(ro->first, false);
     if (pred->next.CompareExchange(expected,
                                    MarkedPtr<Chunk>(replacement, false))) {
+      // The old sector is unreachable as of this CAS.  Flag it retired
+      // *before* announcing done: the orphan re-engagement check in Engage
+      // fires only on done objects and relies on the flags to reject stale
+      // list edges into the dead sector.  If done were visible first, a
+      // racing helper could walk a dead-but-unflagged region, deem a
+      // spliced-out chunk reachable, and re-engage it under a fresh
+      // rebalance — retiring it a second time.
+      for (Chunk* c = ro->first;; c = c->Next()) {
+        KIWI_ASSERT(!c->retired.exchange(true),
+                    "chunk retired twice — two rebalance generations claimed "
+                    "the same chunk");
+        if (c == last) break;
+      }
       ro->done.store(true, std::memory_order_seq_cst);
       *i_won = true;
       return true;
@@ -478,25 +528,48 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
 Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
   // target->min_key >= kMinUserKey > kMinKeySentinel, so the lookup key is
   // valid and at worst resolves to the sentinel.
-  auto* c = static_cast<Chunk*>(index_.Lookup(target->min_key - 1));
-  if (c == nullptr) c = sentinel_;
-  while (c != nullptr) {
-    const MarkedPtr<Chunk> m = c->next.Load();
-    Chunk* next = m.Ptr();
-    if (next == target) return c;
-    // minKeys never decrease along next pointers; passing target's minKey
-    // without meeting it means it is unreachable.  Equal minKeys (a
-    // replacement head) are walked through.
-    if (next == nullptr || next->min_key > target->min_key) return nullptr;
-    c = next;
+  //
+  // The lazy index may return — or a reader may lazily re-insert — a chunk
+  // that has since been retired.  A retired chunk's next pointer still
+  // aims into its old neighborhood, so a walk through a dead region can
+  // "find" a predecessor for a target the live list no longer reaches.
+  // Callers use that answer as reachability evidence (the orphan check) or
+  // as a splice-CAS target; either use on a dead chunk resurrects retired
+  // chunks into the list (double retire).  So: never start from, return,
+  // or walk through a retired chunk — on meeting one, re-resolve from the
+  // sentinel, which is never retired.  Each restart implies another
+  // thread's rebalance completed in the meantime, so this cannot loop
+  // without global progress.
+  while (true) {
+    auto* c = static_cast<Chunk*>(index_.Lookup(target->min_key - 1));
+    if (c == nullptr || c->retired.load(std::memory_order_acquire)) {
+      c = sentinel_;
+    }
+    bool dead_region = false;
+    while (c != nullptr) {
+      if (c != sentinel_ && c->retired.load(std::memory_order_acquire)) {
+        dead_region = true;
+        break;
+      }
+      const MarkedPtr<Chunk> m = c->next.Load();
+      Chunk* next = m.Ptr();
+      if (next == target) return c;
+      // minKeys never decrease along next pointers; passing target's minKey
+      // without meeting it means it is unreachable.  Equal minKeys (a
+      // replacement head) are walked through.
+      if (next == nullptr || next->min_key > target->min_key) return nullptr;
+      c = next;
+    }
+    if (!dead_region) return nullptr;
   }
-  return nullptr;
 }
 
 void KiWiMap::DiscardSection(Chunk* first) {
   // A consensus-losing section was never visible to anyone: plain delete.
   while (first != nullptr) {
     Chunk* next = first->Next();
+    KIWI_ASSERT(!first->retired.exchange(true),
+                "discarding a chunk that was already retired through EBR");
     delete first;
     first = next;
   }

@@ -27,6 +27,16 @@ struct RebalanceObject {
   Chunk* const first;
   /// Next chunk to consider engaging; nullptr once engagement is sealed.
   std::atomic<Chunk*> next;
+  /// Consensus on the last engaged chunk.  An engagement CAS can land
+  /// *after* another helper seals `next` and walks the engaged run, so two
+  /// helpers can legitimately observe different run lengths.  If each used
+  /// its own view, they would freeze/build/stitch/retire *different*
+  /// sectors under one consensus replacement — the shorter view stitches
+  /// the replacement tail at a chunk the longer view retires, leaving a
+  /// retired chunk reachable (double retire via the orphan path).  The
+  /// first helper to finish engagement publishes its view here; every
+  /// helper then acts on the same sector.
+  std::atomic<Chunk*> last_engaged{nullptr};
   /// Consensus on the replacement section: first competing builder to CAS
   /// its section here wins; everyone splices *this* section.
   std::atomic<Chunk*> replacement{nullptr};

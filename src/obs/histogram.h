@@ -1,0 +1,134 @@
+// Log-bucketed latency histogram (HDR-style).
+//
+// Fixed-size bucket array covering [0, 2^64) nanoseconds: values below
+// kSubCount land in exact unit buckets; above that, each power-of-two octave
+// is split into kSubCount equal sub-buckets, bounding the relative error of
+// any reconstructed quantile by 1/kSubCount (6.25%).  Bucket selection is a
+// count-leading-zeros plus a shift — no loops, no floating point.
+//
+// The record path is wait-free: three relaxed fetch_adds (bucket, count,
+// sum).  The monotone max is maintained with a bounded CAS loop (lock-free;
+// it retries only while larger maxima land concurrently).  Reads copy the
+// buckets into a Snapshot and do the percentile walk there, so a reader
+// never blocks a writer and vice versa.
+//
+// Memory: kBucketCount (976) 8-byte counters, ~7.6 KiB per histogram.
+// Histograms are shared across threads (unlike the per-thread counter
+// shards in stats_registry.h) because the hot paths only reach them on
+// sampled operations — see StatsRegistry::SampleTick.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace kiwi::obs {
+
+class LatencyHistogram;
+
+/// A consistent-enough copy of a histogram (counters are read relaxed, so a
+/// snapshot taken under concurrent recording may be mid-update by a few
+/// events; quiescent readers get exact numbers).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, 976> buckets{};
+
+  /// Value at quantile `q` in (0, 1]: the lower bound of the bucket holding
+  /// the ceil(q * count)-th smallest recorded value.  The true value lies
+  /// within one sub-bucket width above the returned bound (<= 6.25%).
+  /// Returns 0 for an empty histogram.
+  std::uint64_t Percentile(double q) const;
+
+  std::uint64_t P50() const { return Percentile(0.50); }
+  std::uint64_t P99() const { return Percentile(0.99); }
+  std::uint64_t P999() const { return Percentile(0.999); }
+  double Mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits sub-buckets per octave.
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSubCount = 1u << kSubBits;
+  /// Buckets 0..kSubCount-1 are exact units; each of the 60 octaves above
+  /// contributes kSubCount sub-buckets: (64 - kSubBits + 1) * kSubCount.
+  static constexpr std::size_t kBucketCount = (64 - kSubBits + 1) * kSubCount;
+  static_assert(kBucketCount ==
+                std::tuple_size_v<decltype(HistogramSnapshot::buckets)>);
+
+  /// Bucket index of `value`; monotone in `value`.
+  static constexpr std::size_t BucketFor(std::uint64_t value) {
+    if (value < kSubCount) return static_cast<std::size_t>(value);
+    const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(value));
+    return (msb - kSubBits + 1) * kSubCount +
+           ((value >> (msb - kSubBits)) & (kSubCount - 1));
+  }
+
+  /// Smallest value mapping to bucket `index` (exact inverse of BucketFor on
+  /// bucket boundaries).
+  static constexpr std::uint64_t BucketLowerBound(std::size_t index) {
+    if (index < kSubCount) return index;
+    const std::size_t octave = index / kSubCount;  // >= 1
+    const std::uint64_t sub = index % kSubCount;
+    const unsigned msb = kSubBits + static_cast<unsigned>(octave) - 1;
+    return (std::uint64_t{1} << msb) + (sub << (msb - kSubBits));
+  }
+
+  /// Record one observation.  Wait-free bucket/count/sum updates plus a
+  /// lock-free monotone max.  Callable from any thread.
+  void Record(std::uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+inline std::uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  // Rank of the target observation, clamped into [1, count].
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.9999999);
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return LatencyHistogram::BucketLowerBound(i);
+  }
+  return max;  // unreachable unless the snapshot tore; max is a safe answer
+}
+
+}  // namespace kiwi::obs

@@ -1,0 +1,192 @@
+// DebugReport assembly and rendering.
+//
+// KiWiMap::DebugReport() lives here, not in src/core/, so that core objects
+// carry no reference to the rendering code (and, in a KIWI_STATS=OFF build,
+// no obs references at all).  The JSON schema emitted by ToJson() is the
+// contract documented in docs/OBSERVABILITY.md — change them together.
+#include "obs/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/kiwi_map.h"
+
+namespace kiwi::obs {
+
+namespace {
+
+// printf-append onto a std::string (keeps formatting snprintf-exact, which
+// matters for the JSON contract: %.17g round-trips doubles, no locale).
+void Append(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+}
+
+LatencySummary Summarize(const LatencyHistogram& hist) {
+  const HistogramSnapshot snap = hist.Snapshot();
+  LatencySummary summary;
+  summary.count = snap.count;
+  summary.p50 = snap.P50();
+  summary.p99 = snap.P99();
+  summary.p999 = snap.P999();
+  summary.max = snap.max;
+  summary.mean_ns = snap.Mean();
+  return summary;
+}
+
+}  // namespace
+
+std::string DebugReport::ToText() const {
+  std::string out;
+  Append(out, "KiWi DebugReport (stats %s)\n",
+         stats_enabled ? "on" : "off — counters/latency read zero");
+  const OpCounters& c = counters;
+  Append(out, " counters:\n");
+  Append(out,
+         "  puts=%llu removes=%llu gets=%llu get_hits=%llu scans=%llu "
+         "scan_keys=%llu snapshots=%llu\n",
+         (unsigned long long)c.puts, (unsigned long long)c.removes,
+         (unsigned long long)c.gets, (unsigned long long)c.get_hits,
+         (unsigned long long)c.scans, (unsigned long long)c.scan_keys,
+         (unsigned long long)c.snapshots);
+  Append(out,
+         "  rebalances=%llu rebalance_wins=%llu put_restarts=%llu "
+         "puts_piggybacked=%llu puts_helped=%llu scans_helped=%llu\n",
+         (unsigned long long)c.rebalances,
+         (unsigned long long)c.rebalance_wins,
+         (unsigned long long)c.put_restarts,
+         (unsigned long long)c.puts_piggybacked,
+         (unsigned long long)c.puts_helped,
+         (unsigned long long)c.scans_helped);
+  Append(out, "  chunks_created=%llu chunks_retired=%llu\n",
+         (unsigned long long)c.chunks_created,
+         (unsigned long long)c.chunks_retired);
+  Append(out,
+         " latency (ns; put/get/scan sampled 1 in %u, rebalance exhaustive):\n",
+         1u << StatsRegistry::kSampleShift);
+  for (std::size_t i = 0; i < kLatencyCount; ++i) {
+    const LatencySummary& s = latency[i];
+    Append(out,
+           "  %-17s count=%-8llu p50=%-8llu p99=%-8llu p999=%-8llu "
+           "max=%-8llu mean=%.1f\n",
+           LatencyName(static_cast<Latency>(i)), (unsigned long long)s.count,
+           (unsigned long long)s.p50, (unsigned long long)s.p99,
+           (unsigned long long)s.p999, (unsigned long long)s.max, s.mean_ns);
+  }
+  Append(out, " gauges:\n");
+  Append(out,
+         "  chunks=%llu allocated_cells=%llu batched_cells=%llu "
+         "avg_fill=%.3f batched_ratio=%.3f\n",
+         (unsigned long long)gauges.chunks,
+         (unsigned long long)gauges.allocated_cells,
+         (unsigned long long)gauges.batched_cells, gauges.avg_fill,
+         gauges.batched_ratio);
+  Append(out,
+         "  psa_active=%llu snapshot_pins=%llu ebr_pending=%llu "
+         "ebr_epoch=%llu global_version=%llu memory_bytes=%llu\n",
+         (unsigned long long)gauges.psa_active,
+         (unsigned long long)gauges.snapshot_pins,
+         (unsigned long long)gauges.ebr_pending,
+         (unsigned long long)gauges.ebr_epoch,
+         (unsigned long long)gauges.global_version,
+         (unsigned long long)gauges.memory_bytes);
+  return out;
+}
+
+std::string DebugReport::ToJson() const {
+  std::string out;
+  out += "{\"kiwi_debug_report\":1,\"stats_enabled\":";
+  out += stats_enabled ? "true" : "false";
+  const OpCounters& c = counters;
+  const auto field = [&out](const char* name, std::uint64_t value,
+                            bool last = false) {
+    Append(out, "\"%s\":%llu%s", name, (unsigned long long)value,
+           last ? "" : ",");
+  };
+  out += ",\"counters\":{";
+  field("puts", c.puts);
+  field("removes", c.removes);
+  field("gets", c.gets);
+  field("get_hits", c.get_hits);
+  field("scans", c.scans);
+  field("scan_keys", c.scan_keys);
+  field("snapshots", c.snapshots);
+  field("rebalances", c.rebalances);
+  field("rebalance_wins", c.rebalance_wins);
+  field("put_restarts", c.put_restarts);
+  field("chunks_created", c.chunks_created);
+  field("chunks_retired", c.chunks_retired);
+  field("puts_piggybacked", c.puts_piggybacked);
+  field("puts_helped", c.puts_helped);
+  field("scans_helped", c.scans_helped, /*last=*/true);
+  out += "},\"latency_ns\":{";
+  for (std::size_t i = 0; i < kLatencyCount; ++i) {
+    const LatencySummary& s = latency[i];
+    Append(out, "\"%s\":{", LatencyName(static_cast<Latency>(i)));
+    field("count", s.count);
+    field("p50", s.p50);
+    field("p99", s.p99);
+    field("p999", s.p999);
+    field("max", s.max);
+    Append(out, "\"mean\":%.17g}%s", s.mean_ns,
+           i + 1 < kLatencyCount ? "," : "");
+  }
+  out += "},\"gauges\":{";
+  field("chunks", gauges.chunks);
+  field("allocated_cells", gauges.allocated_cells);
+  field("batched_cells", gauges.batched_cells);
+  Append(out, "\"avg_fill\":%.17g,\"batched_ratio\":%.17g,", gauges.avg_fill,
+         gauges.batched_ratio);
+  field("psa_active", gauges.psa_active);
+  field("snapshot_pins", gauges.snapshot_pins);
+  field("ebr_pending", gauges.ebr_pending);
+  field("ebr_epoch", gauges.ebr_epoch);
+  field("global_version", gauges.global_version);
+  field("memory_bytes", gauges.memory_bytes, /*last=*/true);
+  out += "}}";
+  return out;
+}
+
+}  // namespace kiwi::obs
+
+namespace kiwi::core {
+
+obs::DebugReport KiWiMap::DebugReport() {
+  obs::DebugReport report;
+#if KIWI_OBS_ENABLED
+  report.stats_enabled = true;
+  report.counters = obs_.Aggregate();
+  for (std::size_t i = 0; i < obs::kLatencyCount; ++i) {
+    report.latency[i] =
+        obs::Summarize(obs_.Hist(static_cast<obs::Latency>(i)));
+  }
+#endif
+  // Gauges are computed from the live structure regardless of the stats
+  // gate.  Structure numbers reuse Report(); the PSA walks look at every
+  // slot (64 loads — occupancy must count exited threads' leaks too).
+  const StructureReport structure = Report();
+  report.gauges.chunks = structure.data_chunks;
+  report.gauges.allocated_cells = structure.allocated_cells;
+  report.gauges.batched_cells = structure.batched_cells;
+  report.gauges.avg_fill = structure.avg_fill;
+  report.gauges.batched_ratio = structure.avg_batched_ratio;
+  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+    if (psa_.Slot(t).Load().ver != kNoVersion) report.gauges.psa_active++;
+    for (const Psa& array : snapshot_psa_) {
+      if (array.Slot(t).Load().ver != kNoVersion) {
+        report.gauges.snapshot_pins++;
+      }
+    }
+  }
+  report.gauges.ebr_pending = ebr_.PendingCount();
+  report.gauges.ebr_epoch = ebr_.GlobalEpoch();
+  report.gauges.global_version = gv_.Load();
+  report.gauges.memory_bytes = MemoryFootprint();
+  return report;
+}
+
+}  // namespace kiwi::core

@@ -1,0 +1,63 @@
+// DebugReport: one consistent-enough snapshot of everything a KiWiMap
+// exposes about itself — operation counters, latency distributions, and
+// structural-health gauges — renderable as human-readable text or as a
+// single JSON line for machine consumption (bench output, dashboards).
+//
+// The exact meaning of every field and the JSON schema are documented in
+// docs/OBSERVABILITY.md; keep the two in sync.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/stats_registry.h"
+
+namespace kiwi::obs {
+
+/// Percentile digest of one latency histogram, in nanoseconds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+  double mean_ns = 0;
+};
+
+struct DebugReport {
+  /// False in a KIWI_STATS=OFF build: counters and latency are all zero
+  /// then, but the gauges (computed on demand) remain live.
+  bool stats_enabled = false;
+
+  /// Aggregated over all thread shards (see StatsRegistry::Aggregate).
+  OpCounters counters;
+
+  /// Indexed by obs::Latency.  Hot-path entries (put/get/scan) reflect a
+  /// 1-in-2^kSampleShift sample of operations; rebalance entries reflect
+  /// every execution.
+  std::array<LatencySummary, kLatencyCount> latency{};
+
+  /// Structural health, computed from the live structure at report time.
+  struct Gauges {
+    std::uint64_t chunks = 0;           // data chunks in the list
+    std::uint64_t allocated_cells = 0;  // cells handed out across chunks
+    std::uint64_t batched_cells = 0;    // cells in sorted prefixes
+    double avg_fill = 0;                // allocated / capacity, averaged
+    double batched_ratio = 0;           // batched / allocated, averaged
+    std::uint64_t psa_active = 0;       // in-flight transient scan entries
+    std::uint64_t snapshot_pins = 0;    // open Snapshot-view read points
+    std::uint64_t ebr_pending = 0;      // retired, not-yet-freed objects
+    std::uint64_t ebr_epoch = 0;        // current global epoch
+    std::uint64_t global_version = 0;   // GV (scans performed + 1)
+    std::uint64_t memory_bytes = 0;     // chunks + index footprint
+  } gauges;
+
+  /// Multi-line human-readable rendering (for terminals and logs).
+  std::string ToText() const;
+
+  /// One-line JSON rendering; schema in docs/OBSERVABILITY.md.
+  std::string ToJson() const;
+};
+
+}  // namespace kiwi::obs

@@ -1,0 +1,201 @@
+// Per-thread-sharded operation statistics for a KiWiMap.
+//
+// Counters live in cache-line-padded per-thread shards keyed off
+// ThreadRegistry::CurrentSlot() — the hot-path increment is one plain add to
+// a line no other thread writes (lock-free, no RMW) — and are summed over
+// all shards on read.  Latency histograms (histogram.h) are shared, reached
+// only on sampled operations: SampleTick() elects 1 in 2^kSampleShift
+// operations per thread, amortizing the two steady_clock reads a timing
+// needs (~20ns each) to well under a nanosecond per operation.
+//
+// Compile-time gate: building with -DKIWI_NO_STATS (CMake -DKIWI_STATS=OFF)
+// sets KIWI_OBS_ENABLED to 0 and the KIWI_OBS_* hook macros expand to
+// nothing, so the core hot paths carry no instrumentation at all — no
+// counter writes, no ticks, no clock reads, no obs symbols in core objects.
+// The types here stay defined either way (tests and tools may use them
+// directly); only the map wiring disappears.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/thread_registry.h"
+#include "obs/histogram.h"
+
+#ifndef KIWI_NO_STATS
+#define KIWI_OBS_ENABLED 1
+#else
+#define KIWI_OBS_ENABLED 0
+#endif
+
+namespace kiwi::obs {
+
+/// Monotone operation counters.  One instance per thread shard; Aggregate()
+/// sums them.  Documented field-by-field in docs/OBSERVABILITY.md.
+struct OpCounters {
+  // ---- client operation volume ----------------------------------------
+  std::uint64_t puts = 0;        // Put() calls (excl. removes)
+  std::uint64_t removes = 0;     // Remove() calls (tombstone puts)
+  std::uint64_t gets = 0;        // Get() calls
+  std::uint64_t get_hits = 0;    // gets that found a live value
+  std::uint64_t scans = 0;       // Scan() calls
+  std::uint64_t scan_keys = 0;   // pairs yielded across all scans
+  std::uint64_t snapshots = 0;   // Snapshot views opened
+  // ---- KiWi internals (superset of the legacy KiWiStats) ---------------
+  std::uint64_t rebalances = 0;        // rebalance executions (incl. helpers)
+  std::uint64_t rebalance_wins = 0;    // replace-stage splice-CAS wins
+  std::uint64_t put_restarts = 0;      // puts restarted by rebalance
+  std::uint64_t chunks_created = 0;
+  std::uint64_t chunks_retired = 0;
+  std::uint64_t puts_piggybacked = 0;  // puts completed inside a rebalance
+  std::uint64_t puts_helped = 0;       // put version installed by a scan/get
+  std::uint64_t scans_helped = 0;      // scan version installed by a rebalance
+
+  OpCounters& operator+=(const OpCounters& other) {
+    puts += other.puts;
+    removes += other.removes;
+    gets += other.gets;
+    get_hits += other.get_hits;
+    scans += other.scans;
+    scan_keys += other.scan_keys;
+    snapshots += other.snapshots;
+    rebalances += other.rebalances;
+    rebalance_wins += other.rebalance_wins;
+    put_restarts += other.put_restarts;
+    chunks_created += other.chunks_created;
+    chunks_retired += other.chunks_retired;
+    puts_piggybacked += other.puts_piggybacked;
+    puts_helped += other.puts_helped;
+    scans_helped += other.scans_helped;
+    return *this;
+  }
+};
+
+/// The latency distributions a map maintains.  kPut/kGet/kScan time whole
+/// client operations (sampled); the rebalance entries time every execution
+/// of the whole procedure and of each §3.3.2 stage.
+enum class Latency : std::size_t {
+  kPut = 0,
+  kGet,
+  kScan,
+  kRebalance,         // whole Rebalance() execution
+  kRebalanceEngage,   // stage 1
+  kRebalanceFreeze,   // stage 2
+  kRebalanceBuild,    // stages 3-4 (min-version + build)
+  kRebalanceReplace,  // stage 5 (consensus + splice)
+  kRebalanceIndex,    // stages 6-7 (index update + normalize)
+  kCount_,
+};
+
+inline constexpr std::size_t kLatencyCount =
+    static_cast<std::size_t>(Latency::kCount_);
+
+/// Stable short names, used by DebugReport's text and JSON output.
+inline const char* LatencyName(Latency metric) {
+  switch (metric) {
+    case Latency::kPut: return "put";
+    case Latency::kGet: return "get";
+    case Latency::kScan: return "scan";
+    case Latency::kRebalance: return "rebalance";
+    case Latency::kRebalanceEngage: return "rebalance_engage";
+    case Latency::kRebalanceFreeze: return "rebalance_freeze";
+    case Latency::kRebalanceBuild: return "rebalance_build";
+    case Latency::kRebalanceReplace: return "rebalance_replace";
+    case Latency::kRebalanceIndex: return "rebalance_index";
+    case Latency::kCount_: break;
+  }
+  return "?";
+}
+
+class StatsRegistry {
+ public:
+  /// Sampling period for hot-path latency timers: 1 in 2^kSampleShift
+  /// operations per thread is timed.
+  static constexpr unsigned kSampleShift = 6;
+
+  /// The calling thread's counter shard.  Increments need no atomics: the
+  /// shard is written by one thread and only read (relaxed, via Aggregate)
+  /// by others.
+  OpCounters& Local() {
+    return shards_[ThreadRegistry::CurrentSlot()].counters;
+  }
+
+  /// Sum of every shard.  Counters are monotone per shard, so concurrent
+  /// aggregation yields a value between two quiescent readings.
+  OpCounters Aggregate() const {
+    OpCounters total;
+    for (const Shard& shard : shards_) total += shard.counters;
+    return total;
+  }
+
+  /// True for 1 operation in 2^kSampleShift on the calling thread.
+  bool SampleTick() {
+    Shard& shard = shards_[ThreadRegistry::CurrentSlot()];
+    return (++shard.sample_tick & ((1u << kSampleShift) - 1)) == 0;
+  }
+
+  LatencyHistogram& Hist(Latency metric) {
+    return histograms_[static_cast<std::size_t>(metric)];
+  }
+  const LatencyHistogram& Hist(Latency metric) const {
+    return histograms_[static_cast<std::size_t>(metric)];
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    OpCounters counters;
+    std::uint64_t sample_tick = 0;
+  };
+  Shard shards_[kMaxThreads];
+  LatencyHistogram histograms_[kLatencyCount];
+};
+
+/// RAII span timer: records the elapsed nanoseconds into `hist` on scope
+/// exit.  Construct with nullptr to make it a no-op (the sampled-out case) —
+/// then no clock is read at all.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    hist_->Record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace kiwi::obs
+
+// ---- hook macros ------------------------------------------------------
+// The core hot paths are instrumented exclusively through these, so a
+// KIWI_STATS=OFF build compiles every hook away (the macro arguments are
+// dropped unevaluated).
+#if KIWI_OBS_ENABLED
+/// Add 1 / `n` to a counter field of the calling thread's shard.
+#define KIWI_OBS_INC(registry, field) ((registry).Local().field += 1)
+#define KIWI_OBS_ADD(registry, field, n) \
+  ((registry).Local().field += static_cast<std::uint64_t>(n))
+/// Unconditionally time the enclosing scope into `metric`.
+#define KIWI_OBS_TIMER(registry, metric, var) \
+  ::kiwi::obs::ScopedTimer var(&(registry).Hist(metric))
+/// Time the enclosing scope for 1 in 2^kSampleShift calls per thread.
+#define KIWI_OBS_SAMPLED_TIMER(registry, metric, var) \
+  ::kiwi::obs::ScopedTimer var(                       \
+      (registry).SampleTick() ? &(registry).Hist(metric) : nullptr)
+#else
+#define KIWI_OBS_INC(registry, field) ((void)0)
+#define KIWI_OBS_ADD(registry, field, n) ((void)0)
+#define KIWI_OBS_TIMER(registry, metric, var) ((void)0)
+#define KIWI_OBS_SAMPLED_TIMER(registry, metric, var) ((void)0)
+#endif

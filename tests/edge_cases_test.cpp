@@ -25,7 +25,10 @@ TEST(EdgeCases, MinimumChunkCapacity) {
   EXPECT_EQ(map.Size(), 300u);
   for (Key k = 0; k < 300; ++k) ASSERT_EQ(map.Get(k).value_or(-1), k);
   map.CheckInvariants();
+#if KIWI_OBS_ENABLED
+  // Counters read zero in a KIWI_STATS=OFF build.
   EXPECT_GT(map.Stats().rebalances, 100u);
+#endif
 }
 
 TEST(EdgeCases, SameKeyOverwrittenThousandsOfTimes) {

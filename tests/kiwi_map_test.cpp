@@ -221,6 +221,9 @@ TEST(KiWiRebalance, MergeShrinksChunkCount) {
 }
 
 TEST(KiWiRebalance, StatsAccumulate) {
+#if !KIWI_OBS_ENABLED
+  GTEST_SKIP() << "counters compiled out (KIWI_STATS=OFF)";
+#else
   KiWiConfig config;
   config.chunk_capacity = 16;
   KiWiMap map(config);
@@ -231,6 +234,7 @@ TEST(KiWiRebalance, StatsAccumulate) {
   EXPECT_GT(stats.chunks_created, 0u);
   EXPECT_GT(stats.put_restarts, 0u);
   EXPECT_GE(stats.rebalances, stats.rebalance_wins);
+#endif
 }
 
 TEST(KiWiRebalance, ReclamationDrains) {
@@ -240,9 +244,11 @@ TEST(KiWiRebalance, ReclamationDrains) {
   for (Key k = 0; k < 5000; ++k) map.Put(k, k);
   map.DrainReclamation();
   EXPECT_EQ(map.Reclaimer().PendingCount(), 0u);
+#if KIWI_OBS_ENABLED
   // Retired chunk accounting is consistent with creations.
   const KiWiStats stats = map.Stats();
   EXPECT_GE(stats.chunks_created + 1, map.ChunkCount() - 1);
+#endif
 }
 
 TEST(KiWiMemory, FootprintGrowsWithData) {
@@ -275,7 +281,10 @@ TEST(KiWiPiggyback, PutsCompleteInsideRebalance) {
   }
   for (const auto& [k, v] : oracle) ASSERT_EQ(map.Get(k).value_or(-1), v);
   EXPECT_EQ(map.Size(), oracle.size());
+#if KIWI_OBS_ENABLED
+  // Counters read zero in a KIWI_STATS=OFF build.
   EXPECT_GT(map.Stats().puts_piggybacked, 0u);
+#endif
   map.CheckInvariants();
 }
 

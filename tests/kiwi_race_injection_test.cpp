@@ -48,8 +48,11 @@ TEST(RaceInjection, ScansHelpStalledPuts) {
   }
   stop.store(true, std::memory_order_release);
   writer.join();
+#if KIWI_OBS_ENABLED
+  // Counters read zero in a KIWI_STATS=OFF build.
   EXPECT_GT(map.Stats().puts_helped, 0u)
       << "widened window but no put was ever helped by a reader";
+#endif
 }
 
 // Same window against gets: a get racing the stalled put must either help
@@ -76,7 +79,9 @@ TEST(RaceInjection, GetsHelpStalledPuts) {
   });
   writer.join();
   reader.join();
+#if KIWI_OBS_ENABLED
   EXPECT_GT(map.Stats().puts_helped, 0u);
+#endif
 }
 
 // Widen freeze -> build: puts landing on frozen chunks must restart (not
@@ -99,7 +104,9 @@ TEST(RaceInjection, FrozenChunksServeReadsAndRestartPuts) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(map.Size(), 4u * 4000u);
+#if KIWI_OBS_ENABLED
   EXPECT_GT(map.Stats().put_restarts, 0u);
+#endif
   map.CheckInvariants();
 }
 

@@ -34,8 +34,10 @@ TEST(Smoke, ManyPutsForceRebalance) {
     EXPECT_EQ(out[i].first, k); EXPECT_EQ(out[i].second, v); ++i;
   }
   map.CheckInvariants();
-  auto st = map.Stats();
-  EXPECT_GT(st.rebalances, 0u);
+#if KIWI_OBS_ENABLED
+  // Counters read zero in a KIWI_STATS=OFF build.
+  EXPECT_GT(map.Stats().rebalances, 0u);
+#endif
 }
 
 TEST(Smoke, ConcurrentStress) {

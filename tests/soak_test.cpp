@@ -120,7 +120,10 @@ TEST(Soak, OversubscribedAllOps) {
   map.DrainReclamation();
   map.CheckInvariants();
   EXPECT_GT(scan_keys.load(), 0u);
+#if KIWI_OBS_ENABLED
+  // Counters read zero in a KIWI_STATS=OFF build.
   EXPECT_GT(map.Stats().rebalances, 100u);
+#endif
 }
 
 }  // namespace
