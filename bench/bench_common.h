@@ -22,6 +22,7 @@
 #include "harness/driver.h"
 #include "harness/metrics.h"
 #include "harness/workload.h"
+#include "obs/trace.h"
 
 namespace kiwi::bench {
 
@@ -40,6 +41,11 @@ struct BenchConfig {
   /// DebugReport as an `obsjson,<figure>,<series>,<json>` row (rendered by
   /// scripts/render_results.py; schema in docs/OBSERVABILITY.md).
   bool obs = false;
+  /// --trace=<file> / KIWI_BENCH_TRACE=1: dump the flight recorder to a
+  /// Perfetto-loadable JSON file after each run (the driver performs the
+  /// dump; later runs overwrite, so the file holds the final run's tail)
+  /// and install the crash post-mortem handler for the bench's lifetime.
+  std::string trace_path;
 
   std::uint64_t KeyRange() const { return dataset_size * 2; }
 };
@@ -58,6 +64,10 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
     harness::ParseUintList(env, &config.threads);
   }
   config.obs = EnvOrU64("KIWI_BENCH_OBS", 0) != 0;
+  if (const char* env = std::getenv("KIWI_BENCH_TRACE");
+      env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    config.trace_path = std::strcmp(env, "1") == 0 ? "kiwi_trace.json" : env;
+  }
   config.driver = harness::DriverOptions::FromEnv();
 
   for (int i = 1; i < argc; ++i) {
@@ -91,33 +101,46 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       config.panel = value;
     } else if (arg == "--obs") {
       config.obs = true;
+    } else if (const char* value = value_of("--trace=")) {
+      config.trace_path = value;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --maps=kiwi,kary,skiplist,snaptree --threads=1,2,4 "
-          "--size=N --panel=X --obs\nenv: KIWI_BENCH_SIZE, "
+          "--size=N --panel=X --obs --trace=<file>\nenv: KIWI_BENCH_SIZE, "
           "KIWI_BENCH_THREADS, KIWI_BENCH_WARMUP_MS, KIWI_BENCH_ITER_MS, "
-          "KIWI_BENCH_ITERS, KIWI_BENCH_OBS\n");
+          "KIWI_BENCH_ITERS, KIWI_BENCH_OBS, KIWI_BENCH_TRACE\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
       std::exit(2);
     }
   }
+#if KIWI_TRACE_ENABLED
+  if (!config.trace_path.empty()) {
+    // The driver reads this env var after every run and dumps there; the
+    // crash handler gives any bench failure a flight-recorder post-mortem.
+    setenv("KIWI_BENCH_TRACE", config.trace_path.c_str(), 1);
+    obs::trace::InstallCrashHandler();
+  }
+#else
+  if (!config.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "--trace ignored: built with KIWI_TRACE=OFF or "
+                 "KIWI_STATS=OFF\n");
+  }
+#endif
   return config;
 }
 
 /// If `map` is a KiWi instance and --obs is on, emit its DebugReport as one
 /// machine-readable row:  obsjson,<figure>,<series>,<one-line JSON>.
 /// scripts/render_results.py turns these into per-series latency tables.
+/// The row is digested from the map's StatsRegistry by harness::EmitObsJson
+/// — the single code path for observability reporting.
 inline void EmitObsReport(const BenchConfig& config, const std::string& figure,
                           const std::string& series, api::IOrderedMap& map) {
   if (!config.obs) return;
-  auto* adapter = dynamic_cast<api::MapAdapter<core::KiWiMap>*>(&map);
-  if (adapter == nullptr) return;  // only KiWi carries an obs registry
-  const std::string json = adapter->Underlying().DebugReport().ToJson();
-  std::printf("obsjson,%s,%s,%s\n", figure.c_str(), series.c_str(),
-              json.c_str());
-  std::fflush(stdout);
+  harness::EmitObsJson(figure, series, map);
 }
 
 inline void DescribeEnvironment(const BenchConfig& config,

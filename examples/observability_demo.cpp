@@ -12,14 +12,20 @@
 //   - ToText(): the human-readable block explained in docs/OBSERVABILITY.md
 //   - ToJson(): the same data as one line of JSON (the schema the benches'
 //     `obsjson,...` rows and scripts/render_results.py consume)
+//
+// With KIWI_TRACE_DUMP=<file> set, the flight recorder's merged rings are
+// additionally exported as Perfetto-loadable JSON after the workload stops
+// (summarize with scripts/trace_summary.py, or load in ui.perfetto.dev).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "core/kiwi_map.h"
+#include "obs/trace.h"
 
 using kiwi::Key;
 using kiwi::Value;
@@ -97,5 +103,19 @@ int main() {
   std::printf("%s\n", report.ToText().c_str());
   std::printf("one-line JSON (same data, machine-readable):\n%s\n",
               report.ToJson().c_str());
+
+#if KIWI_TRACE_ENABLED
+  if (const char* path = std::getenv("KIWI_TRACE_DUMP");
+      path != nullptr && *path != '\0') {
+    // All workers joined above, so the export is exact.
+    if (kiwi::obs::trace::DumpTraceToFile(path)) {
+      std::printf("flight recorder trace written to %s "
+                  "(load in ui.perfetto.dev)\n", path);
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", path);
+      return 1;
+    }
+  }
+#endif
   return 0;
 }

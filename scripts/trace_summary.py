@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Summarize a KiWi flight-recorder trace (Chrome trace-event JSON).
+
+The flight recorder (src/obs/trace.h) exports per-thread event rings as
+Perfetto-loadable JSON via DumpTrace() / --trace=<file> / KIWI_TRACE_DUMP.
+This script answers the first questions an operator asks of such a trace
+without opening a UI:
+
+    python3 scripts/trace_summary.py kiwi_trace.json [--top N]
+
+  * span of the capture and overall events/sec
+  * event counts by kind
+  * the top N rebalance spans by duration, with their stage events
+
+Exits non-zero if the file is not a valid trace (used as a CI smoke check).
+Pure standard library; no dependencies.
+"""
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def load_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise SystemExit(f"{path}: no traceEvents — not a flight-recorder dump")
+    for required in ("name", "ph", "ts", "tid"):
+        if required not in events[0]:
+            raise SystemExit(f"{path}: events lack '{required}' field")
+    return events
+
+
+def rebalance_spans(events):
+    """Pair B/E 'rebalance' events per tid; the export guarantees balance."""
+    spans = []
+    open_spans = {}  # tid -> stack of (begin event, stage list)
+    for e in events:
+        tid = e["tid"]
+        ev = e.get("args", {}).get("ev", "")
+        if e["ph"] == "B" and e["name"] == "rebalance":
+            open_spans.setdefault(tid, []).append((e, []))
+        elif e["ph"] == "i" and ev.startswith("reb_") and open_spans.get(tid):
+            open_spans[tid][-1][1].append(e)
+        elif e["ph"] == "E" and e["name"] == "rebalance":
+            stack = open_spans.get(tid)
+            if not stack:
+                raise SystemExit("unbalanced rebalance E event — export bug")
+            begin, stages = stack.pop()
+            spans.append({
+                "tid": tid,
+                "start_us": begin["ts"],
+                "duration_us": e["ts"] - begin["ts"],
+                "ro": next((s["args"].get("a0") for s in stages
+                            if s["args"].get("ev") == "reb_engage"), None),
+                "stages": [s["args"]["ev"] for s in stages],
+                "outcome": e.get("args", {}).get("a1"),
+            })
+    return spans
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON file (DumpTrace output)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rebalance spans to list (default 10)")
+    args = parser.parse_args()
+
+    events = load_trace(args.trace)
+    ts = [e["ts"] for e in events]
+    window_s = (max(ts) - min(ts)) / 1e6 if len(ts) > 1 else 0.0
+    rate = len(events) / window_s if window_s > 0 else float("nan")
+    print(f"{args.trace}: {len(events)} events over {window_s * 1e3:.2f} ms "
+          f"({rate:,.0f} recorded events/sec)")
+
+    counts = Counter(e.get("args", {}).get("ev", e["name"]) for e in events)
+    print("\nevents by kind:")
+    for name, n in counts.most_common():
+        print(f"  {name:<20} {n}")
+
+    spans = rebalance_spans(events)
+    if not spans:
+        print("\nno complete rebalance spans in this window")
+        return
+    spans.sort(key=lambda s: s["duration_us"], reverse=True)
+    durations = [s["duration_us"] for s in spans]
+    print(f"\n{len(spans)} rebalance spans; "
+          f"mean {sum(durations) / len(durations):.1f} us, "
+          f"max {durations[0]:.1f} us")
+    print(f"\ntop {min(args.top, len(spans))} rebalance spans by duration:")
+    print(f"  {'duration_us':>12} {'tid':>4} {'ro':<16} outcome stages")
+    for s in spans[:args.top]:
+        # outcome a1: bit0 = splice win, bit1 = consensus win
+        try:
+            bits = int(str(s["outcome"]), 0)
+            outcome = "winner" if bits & 1 else "helper"
+        except (TypeError, ValueError):
+            outcome = "?"
+        print(f"  {s['duration_us']:>12.1f} {s['tid']:>4} "
+              f"{str(s['ro']):<16} {outcome:<7} {','.join(s['stages'])}")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,19 +1,34 @@
 // Always-on invariant checks for cheap assertions plus debug-only heavy ones.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+namespace kiwi {
+
+/// The single fatal-error interception point.  Every invariant failure
+/// (KIWI_ASSERT, deviation-9 double-retire/double-discard aborts, explicit
+/// unreachable paths) funnels through here: the message and file:line go to
+/// stderr, the registered fatal hook runs (the flight recorder uses it to
+/// write a post-mortem, see src/obs/trace.h), then the process aborts.
+/// `detail` may be null.
+[[noreturn]] void Fatal(const char* file, int line, const char* expr,
+                        const char* detail);
+
+/// Hook invoked by Fatal() after printing the message, before abort().
+/// Raw function pointer (no std::function) so src/common stays free of
+/// allocation and of obs symbols — the KIWI_STATS=OFF `nm` check relies on
+/// that.  Passing nullptr uninstalls.  Not thread-safe; install at startup.
+using FatalHookFn = void (*)();
+void SetFatalHook(FatalHookFn hook);
+
+}  // namespace kiwi
 
 // KIWI_ASSERT: enabled in all build types.  Concurrent-algorithm invariant
 // violations must never be silently ignored; the cost of these checks is
 // negligible next to the atomic operations they sit beside.
-#define KIWI_ASSERT(cond, msg)                                              \
-  do {                                                                      \
-    if (!(cond)) [[unlikely]] {                                             \
-      std::fprintf(stderr, "KIWI_ASSERT failed at %s:%d: %s (%s)\n",        \
-                   __FILE__, __LINE__, #cond, msg);                         \
-      std::abort();                                                         \
-    }                                                                       \
+#define KIWI_ASSERT(cond, msg)                            \
+  do {                                                    \
+    if (!(cond)) [[unlikely]] {                           \
+      ::kiwi::Fatal(__FILE__, __LINE__, #cond, msg);      \
+    }                                                     \
   } while (0)
 
 // KIWI_DASSERT: debug-only (e.g. O(n) structural scans).

@@ -1,0 +1,28 @@
+#include "common/assert.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kiwi {
+
+namespace {
+std::atomic<FatalHookFn> g_fatal_hook{nullptr};
+}  // namespace
+
+void SetFatalHook(FatalHookFn hook) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
+void Fatal(const char* file, int line, const char* expr, const char* detail) {
+  std::fprintf(stderr, "KIWI_ASSERT failed at %s:%d: %s (%s)\n", file, line,
+               expr, detail != nullptr ? detail : "");
+  std::fflush(stderr);
+  if (FatalHookFn hook = g_fatal_hook.load(std::memory_order_acquire);
+      hook != nullptr) {
+    hook();
+  }
+  std::abort();
+}
+
+}  // namespace kiwi

@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/test_hooks.h"
 #include "common/thread_registry.h"
+#include "obs/trace.h"
 
 namespace kiwi::core {
 
@@ -115,6 +116,7 @@ void KiWiMap::Remove(Key key) {
 void KiWiMap::PutImpl(Key key, Value value) {
   KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
   const std::size_t slot = ThreadRegistry::CurrentSlot();
+  const bool traced = KIWI_TRACE_SAMPLED(kPutOp, key, value);
 
   while (true) {
     reclaim::EbrGuard guard(ebr_);
@@ -129,6 +131,7 @@ void KiWiMap::PutImpl(Key key, Value value) {
     if (CheckRebalance(chunk, key, value, &put_done)) {
       if (put_done) return;
       KIWI_OBS_INC(obs_, put_restarts);
+      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
       continue;
     }
 
@@ -141,9 +144,11 @@ void KiWiMap::PutImpl(Key key, Value value) {
     if (j >= chunk->capacity || i > chunk->capacity) {
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
         KIWI_OBS_INC(obs_, puts_piggybacked);
+        KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
         return;
       }
       KIWI_OBS_INC(obs_, put_restarts);
+      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
       continue;
     }
     chunk->v[j] = value;
@@ -163,11 +168,14 @@ void KiWiMap::PutImpl(Key key, Value value) {
             std::memory_order_seq_cst)) {
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
         KIWI_OBS_INC(obs_, puts_piggybacked);
+        KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
         return;
       }
       KIWI_OBS_INC(obs_, put_restarts);
+      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
       continue;
     }
+    if (traced) KIWI_TRACE(kPutPpaPublish, key, i);
     TestHooks::Run(TestHooks::put_before_version_cas);
     const Version gv = gv_.Load();
     std::uint64_t published = Chunk::PackPpa(Chunk::kPpaVerBottom, i);
@@ -179,15 +187,18 @@ void KiWiMap::PutImpl(Key key, Value value) {
         Chunk::PpaVer(chunk->ppa[slot].load(std::memory_order_seq_cst));
     if (!own_cas && version != Chunk::kPpaVerFrozen) {
       KIWI_OBS_INC(obs_, puts_helped);  // a scan or get installed our version
+      KIWI_TRACE(kPutHelped, key, version);
     }
     if (version == Chunk::kPpaVerFrozen) {
       // The chunk froze between our status check and version acquisition;
       // the entry stays frozen (this chunk is dead) and the put restarts.
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
         KIWI_OBS_INC(obs_, puts_piggybacked);
+        KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
         return;
       }
       KIWI_OBS_INC(obs_, put_restarts);
+      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
       continue;
     }
     cell.version = version;
@@ -233,7 +244,9 @@ std::optional<Value> KiWiMap::Get(Key key) {
   // order this get inconsistently with a later scan (paper Figure 2).
   chunk->HelpPendingPuts(gv_, key, key);
   const Chunk::LatestResult latest = chunk->FindLatest(key, kMaxReadVersion);
-  if (!latest.found || latest.is_tombstone) return std::nullopt;
+  const bool hit = latest.found && !latest.is_tombstone;
+  (void)KIWI_TRACE_SAMPLED(kGetOp, key, hit);
+  if (!hit) return std::nullopt;
   KIWI_OBS_INC(obs_, get_hits);
   return latest.value;
 }
@@ -246,6 +259,9 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
   KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kScan, timer);
   const std::size_t slot = ThreadRegistry::CurrentSlot();
   PsaEntry& entry = psa_.Slot(slot);
+  const bool traced = KIWI_TRACE_SAMPLED(
+      kScanBegin, static_cast<std::uint64_t>(from_key),
+      static_cast<std::uint64_t>(to_key));
 
   // -- 1. acquire a read point, synchronizing with rebalance via the PSA
   //    (paper lines 32-35): publish intent, F&I GV, install (or adopt the
@@ -253,6 +269,7 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
   const std::uint64_t seq = entry.PublishPending(from_key, to_key);
   const Version fetched = gv_.FetchIncrement();
   const Version read_point = entry.InstallOwn(seq, fetched);
+  if (traced) KIWI_TRACE(kScanVersion, read_point, read_point != fetched);
 
   // -- 2. read every key in range at `read_point`.
   std::size_t emitted = 0;
@@ -268,6 +285,7 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
 
   entry.Clear(seq);
   KIWI_OBS_ADD(obs_, scan_keys, emitted);
+  if (traced) KIWI_TRACE(kScanEnd, emitted, 0);
   return emitted;
 }
 
@@ -375,6 +393,7 @@ KiWiMap::Snapshot::Snapshot(KiWiMap& map)
   const Version fetched = map_.gv_.FetchIncrement();
   read_point_ = entry.InstallOwn(seq_, fetched);
   KIWI_OBS_INC(map_.obs_, snapshots);
+  KIWI_TRACE(kSnapshotOpen, read_point_, 0);
 }
 
 KiWiMap::Snapshot::~Snapshot() {

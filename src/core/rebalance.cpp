@@ -30,6 +30,7 @@
 #include "common/test_hooks.h"
 #include "common/thread_registry.h"
 #include "core/kiwi_map.h"
+#include "obs/trace.h"
 
 namespace kiwi::core {
 
@@ -65,6 +66,7 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
   reclaim::EbrGuard guard(ebr_);
   KIWI_OBS_INC(obs_, rebalances);
   KIWI_OBS_TIMER(obs_, obs::Latency::kRebalance, whole_timer);
+  KIWI_TRACE(kRebStart, reinterpret_cast<std::uintptr_t>(chunk), has_put);
 
   // ---- stage 1: engage ------------------------------------------------
   Chunk* last = nullptr;
@@ -73,19 +75,27 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
     KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceEngage, stage_timer);
     ro = Engage(chunk, &last);
   }
-  if (ro == nullptr) return false;  // chunk already replaced; caller restarts
+  if (ro == nullptr) {
+    KIWI_TRACE(kRebDone, 0, 0);  // chunk already replaced; caller restarts
+    return false;
+  }
+  KIWI_TRACE(kRebEngage, reinterpret_cast<std::uintptr_t>(ro),
+             reinterpret_cast<std::uintptr_t>(last));
 
   // ---- stage 2: freeze ------------------------------------------------
   {
     KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceFreeze, stage_timer);
+    std::uint64_t frozen = 0;
     for (Chunk* c = ro->first;; c = c->Next()) {
       // Plain store, as in the paper: overwriting kInfant or kNormal with
       // kFrozen is exactly the intent, and stage 7's CAS(infant -> normal)
       // fails harmlessly afterwards.
       c->status.store(Chunk::Status::kFrozen, std::memory_order_seq_cst);
       c->FreezePpa();
+      ++frozen;
       if (c == last) break;
     }
+    KIWI_TRACE(kRebFreeze, reinterpret_cast<std::uintptr_t>(ro), frozen);
   }
 
   TestHooks::Run(TestHooks::rebalance_after_freeze);
@@ -103,7 +113,10 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
     const Key range_to = succ != nullptr ? succ->min_key : 0;
     min_version =
         ComputeMinVersion(range_from, range_to, /*bounded=*/succ != nullptr);
+    KIWI_TRACE(kRebMinVersion, reinterpret_cast<std::uintptr_t>(ro),
+               min_version);
     mine = BuildSection(ro, last, min_version, key, value, has_put);
+    KIWI_TRACE(kRebBuild, reinterpret_cast<std::uintptr_t>(ro), mine.count);
   }
 
   // ---- stage 5: consensus + splice --------------------------------------
@@ -119,6 +132,9 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
     }
     TestHooks::Run(TestHooks::replace_before_splice);
     Replace(ro, last, &splice_winner);
+    KIWI_TRACE(kRebReplace, reinterpret_cast<std::uintptr_t>(ro),
+               (static_cast<std::uint64_t>(consensus_winner) << 1) |
+                   static_cast<std::uint64_t>(splice_winner));
   }
 
   // ---- stages 6-7 -------------------------------------------------------
@@ -149,6 +165,9 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
     }
   }
 
+  KIWI_TRACE(kRebDone, reinterpret_cast<std::uintptr_t>(ro),
+             (static_cast<std::uint64_t>(consensus_winner) << 1) |
+                 static_cast<std::uint64_t>(splice_winner));
   return consensus_winner && mine.put_included;
 }
 
@@ -238,6 +257,11 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
   ro->last_engaged.compare_exchange_strong(expected_last, observed_last,
                                            std::memory_order_seq_cst);
   *last_out = ro->last_engaged.load(std::memory_order_acquire);
+  if (*last_out != observed_last) {
+    // Another helper's consensus view of the engaged run won over ours.
+    KIWI_TRACE(kRebEngageAdopt, reinterpret_cast<std::uintptr_t>(observed_last),
+               reinterpret_cast<std::uintptr_t>(*last_out));
+  }
   return ro;
 }
 
@@ -291,6 +315,8 @@ Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
     for (const PendingScan& p : to_help) {
       if (p.entry->HelpInstall(p.seq, helped_version)) {
         KIWI_OBS_INC(obs_, scans_helped);
+        KIWI_TRACE(kScanHelpInstall,
+                   reinterpret_cast<std::uintptr_t>(p.entry), helped_version);
       }
       // Whether our CAS or the scan's own won, account for the installed
       // version (if the scan has not already finished and moved on).
@@ -494,6 +520,7 @@ bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
 
 void KiWiMap::Normalize(RebalanceObject* ro) {
   reclaim::EbrGuard guard(ebr_);
+  KIWI_TRACE(kRebIndex, reinterpret_cast<std::uintptr_t>(ro), 0);
   // ---- stage 6: index update -----------------------------------------
   // Unindex the engaged chunks (walk by ro membership)...
   for (Chunk* c = ro->first;
@@ -517,12 +544,15 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
     }
   }
   // ---- stage 7: normalize ---------------------------------------------
+  std::uint64_t normalized = 0;
   for (Chunk* c = replacement; c != nullptr && c->parent == ro->first;
        c = c->Next()) {
     Chunk::Status expected = Chunk::Status::kInfant;
     c->status.compare_exchange_strong(expected, Chunk::Status::kNormal,
                                       std::memory_order_seq_cst);
+    ++normalized;
   }
+  KIWI_TRACE(kRebNormalize, reinterpret_cast<std::uintptr_t>(ro), normalized);
 }
 
 Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
@@ -570,6 +600,7 @@ void KiWiMap::DiscardSection(Chunk* first) {
     Chunk* next = first->Next();
     KIWI_ASSERT(!first->retired.exchange(true),
                 "discarding a chunk that was already retired through EBR");
+    KIWI_TRACE(kChunkDiscard, reinterpret_cast<std::uintptr_t>(first), 0);
     delete first;
     first = next;
   }

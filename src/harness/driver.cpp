@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "common/assert.h"
 #include "common/barrier.h"
+#include "obs/trace.h"
 
 namespace kiwi::harness {
 
@@ -173,6 +176,19 @@ RunResult RunWorkload(api::IOrderedMap& map, const std::vector<Role>& roles,
     map.DrainDeferredMemory();
     result.memory_bytes = map.MemoryFootprint();
   }
+
+#if KIWI_TRACE_ENABLED
+  // KIWI_BENCH_TRACE=<file> (or =1 for kiwi_trace.json): dump the flight
+  // recorder now that every worker joined, so the export is exact.  Each run
+  // overwrites the file; the rings hold only the newest events anyway.
+  if (const char* env = std::getenv("KIWI_BENCH_TRACE");
+      env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    const char* path = std::strcmp(env, "1") == 0 ? "kiwi_trace.json" : env;
+    if (!obs::trace::DumpTraceToFile(path)) {
+      std::fprintf(stderr, "KIWI_BENCH_TRACE: cannot write %s\n", path);
+    }
+  }
+#endif
   return result;
 }
 

@@ -3,7 +3,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/map_interface.h"
+
 namespace kiwi::harness {
+
+namespace {
+/// The registry lives inside KiWiMap; other maps have no obs state.
+core::KiWiMap* AsKiwi(api::IOrderedMap& map) {
+  auto* adapter = dynamic_cast<api::MapAdapter<core::KiWiMap>*>(&map);
+  return adapter != nullptr ? &adapter->Underlying() : nullptr;
+}
+}  // namespace
 
 void EmitCsv(const std::string& figure, const std::string& series, double x,
              double y, const std::string& unit) {
@@ -45,6 +55,40 @@ bool ParseUintList(const std::string& text, std::vector<std::uint64_t>* out) {
     begin = end + 1;
   }
   return !out->empty();
+}
+
+std::string DebugReportJson(api::IOrderedMap& map) {
+  core::KiWiMap* kiwi = AsKiwi(map);
+  return kiwi != nullptr ? kiwi->DebugReport().ToJson() : std::string();
+}
+
+std::string ObsDigest(api::IOrderedMap& map) {
+  core::KiWiMap* kiwi = AsKiwi(map);
+  if (kiwi == nullptr) return {};
+  const obs::DebugReport report = kiwi->DebugReport();
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "obs: puts=%llu gets=%llu scans=%llu rebalances=%llu restarts=%llu "
+      "chunks=%llu ebr_pending=%llu",
+      (unsigned long long)report.counters.puts,
+      (unsigned long long)report.counters.gets,
+      (unsigned long long)report.counters.scans,
+      (unsigned long long)report.counters.rebalances,
+      (unsigned long long)report.counters.put_restarts,
+      (unsigned long long)report.gauges.chunks,
+      (unsigned long long)report.gauges.ebr_pending);
+  return buffer;
+}
+
+bool EmitObsJson(const std::string& figure, const std::string& series,
+                 api::IOrderedMap& map) {
+  const std::string json = DebugReportJson(map);
+  if (json.empty()) return false;
+  std::printf("obsjson,%s,%s,%s\n", figure.c_str(), series.c_str(),
+              json.c_str());
+  std::fflush(stdout);
+  return true;
 }
 
 }  // namespace kiwi::harness

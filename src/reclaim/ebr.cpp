@@ -3,6 +3,7 @@
 #include "common/assert.h"
 #include "common/backoff.h"
 #include "common/thread_registry.h"
+#include "obs/trace.h"
 
 namespace kiwi::reclaim {
 
@@ -47,8 +48,9 @@ void Ebr::Exit(std::size_t slot) {
 void Ebr::Retire(void* object, Deleter deleter) {
   const std::size_t slot = ThreadRegistry::CurrentSlot();
   RetireBuffer& buffer = buffers_[slot];
-  buffer.items.push_back(
-      Retired{object, deleter, global_epoch_.load(std::memory_order_acquire)});
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  KIWI_TRACE(kEbrRetire, reinterpret_cast<std::uintptr_t>(object), epoch);
+  buffer.items.push_back(Retired{object, deleter, epoch});
   pending_.fetch_add(1, std::memory_order_relaxed);
   if (++buffer.since_collect >= kCollectPeriod) {
     buffer.since_collect = 0;
@@ -64,7 +66,10 @@ bool Ebr::TryAdvanceEpoch() {
         slots_[i].announced.load(std::memory_order_seq_cst);
     if (announced != kInactive && announced < e) return false;
   }
-  global_epoch_.compare_exchange_strong(e, e + 1, std::memory_order_seq_cst);
+  if (global_epoch_.compare_exchange_strong(e, e + 1,
+                                            std::memory_order_seq_cst)) {
+    KIWI_TRACE(kEbrEpoch, e + 1, 0);
+  }
   return true;  // either we advanced or someone else did
 }
 
@@ -98,6 +103,9 @@ std::size_t Ebr::Collect() {
     global_retired_.resize(write);
   }
   pending_.fetch_sub(freed, std::memory_order_relaxed);
+  if (freed > 0) {
+    KIWI_TRACE(kEbrCollect, freed, pending_.load(std::memory_order_relaxed));
+  }
   collect_lock_.clear(std::memory_order_release);
   return freed;
 }
