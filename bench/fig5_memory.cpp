@@ -32,6 +32,28 @@ int main(int argc, char** argv) {
       harness::Note("  " + map->Name() + " scan_threads=" +
                     std::to_string(scan_threads) + " -> " +
                     harness::FormatMb(result.memory_bytes));
+      // KiWi recycles chunk slabs through its SlabPool; split the pool's
+      // view into live (handed-out) vs pooled (idle recycled stock) so the
+      // post-drain footprint above is attributable.  Pooled bytes are NOT
+      // part of the fig5 metric — they are reusable stock, the analogue of
+      // a JVM's free heap after GC.
+      if (auto* kiwi_adapter =
+              dynamic_cast<api::MapAdapter<core::KiWiMap>*>(map.get())) {
+        const reclaim::SlabPool::Stats pool =
+            kiwi_adapter->Underlying().Pool().GetStats();
+        const double live_mb =
+            static_cast<double>(pool.live_bytes) / (1024.0 * 1024.0);
+        const double pooled_mb =
+            static_cast<double>(pool.pooled_bytes) / (1024.0 * 1024.0);
+        harness::EmitCsv("fig5_pool_live", map->Name(),
+                         static_cast<double>(scan_threads), live_mb, "MB");
+        harness::EmitCsv("fig5_pool_idle", map->Name(),
+                         static_cast<double>(scan_threads), pooled_mb, "MB");
+        harness::Note("    pool: live=" + harness::FormatMb(pool.live_bytes) +
+                      " idle=" + harness::FormatMb(pool.pooled_bytes) +
+                      " hits=" + std::to_string(pool.hits) +
+                      " misses=" + std::to_string(pool.misses));
+      }
       bench::EmitObsReport(config, "fig5",
                            map->Name() + "@" + std::to_string(scan_threads),
                            *map);

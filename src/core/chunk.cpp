@@ -1,15 +1,41 @@
 #include "core/chunk.h"
 
 #include <algorithm>
+#include <memory>
+#include <new>
 
 #include "common/assert.h"
 #include "common/thread_registry.h"
 #include "core/rebalance_object.h"
+#include "reclaim/pool.h"
 
 namespace kiwi::core {
 
-Chunk::Chunk(Key min_key_arg, std::uint32_t capacity_arg, Chunk* parent_arg,
-             Status status_arg, std::span<const Item> batched)
+// The slab layout computes `k`/`v` as raw offsets past the header; cells
+// are constructed by placement-new below, so they must not need cleanup
+// beyond the slab free itself.
+static_assert(std::is_trivially_destructible_v<Chunk::Cell>,
+              "cells live in the slab and are never destroyed individually");
+static_assert(sizeof(Chunk) % alignof(Chunk::Cell) == 0,
+              "cell array must start aligned after the header");
+
+Chunk* Chunk::Create(reclaim::SlabPool& pool, Key min_key,
+                     std::uint32_t capacity, Chunk* parent, Status status,
+                     std::span<const Item> batched) {
+  void* slab = pool.Allocate(SlabBytes(capacity));
+  return new (slab) Chunk(&pool, min_key, capacity, parent, status, batched);
+}
+
+void Chunk::Destroy(Chunk* chunk) {
+  reclaim::SlabPool* pool = chunk->pool_;
+  const std::size_t bytes = SlabBytes(chunk->capacity);
+  chunk->~Chunk();
+  pool->Deallocate(chunk, bytes);
+}
+
+Chunk::Chunk(reclaim::SlabPool* pool, Key min_key_arg,
+             std::uint32_t capacity_arg, Chunk* parent_arg, Status status_arg,
+             std::span<const Item> batched)
     : min_key(min_key_arg),
       capacity(capacity_arg),
       parent(parent_arg),
@@ -18,9 +44,17 @@ Chunk::Chunk(Key min_key_arg, std::uint32_t capacity_arg, Chunk* parent_arg,
       k_counter(1 + static_cast<std::uint32_t>(batched.size())),
       v_counter(static_cast<std::uint32_t>(batched.size())),
       batched_count(static_cast<std::uint32_t>(batched.size())),
-      k(new Cell[capacity_arg + 1]),
-      v(new Value[capacity_arg]) {
+      k(reinterpret_cast<Cell*>(reinterpret_cast<char*>(this) +
+                                sizeof(Chunk))),
+      v(reinterpret_cast<Value*>(reinterpret_cast<char*>(this) +
+                                 sizeof(Chunk) +
+                                 (capacity_arg + 1) * sizeof(Cell))),
+      pool_(pool) {
   KIWI_ASSERT(batched.size() <= capacity, "batched prefix exceeds capacity");
+  // The slab tail holds raw storage: bring the cells to life (values are
+  // write-before-read, like the `new Value[n]` default-init they replace).
+  for (std::uint32_t i = 0; i <= capacity_arg; ++i) new (&k[i]) Cell();
+  std::uninitialized_default_construct_n(v, capacity_arg);
   // Cell 0 is the list-head sentinel.
   k[0].key = kMinKeySentinel;
   k[0].version = kPendingVersion;  // never compared
@@ -213,8 +247,8 @@ void Chunk::CollectItems(std::vector<Item>& out) const {
 }
 
 std::size_t Chunk::MemoryFootprint() const {
-  return sizeof(Chunk) + (capacity + 1) * sizeof(Cell) +
-         capacity * sizeof(Value);
+  // The whole chunk is one slab; report what the pool actually reserved.
+  return reclaim::SlabPool::RoundedSize(SlabBytes(capacity));
 }
 
 }  // namespace kiwi::core

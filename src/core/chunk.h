@@ -21,7 +21,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,11 +28,22 @@
 #include "common/marked_ptr.h"
 #include "core/version.h"
 
+namespace kiwi::reclaim {
+class SlabPool;
+}
+
 namespace kiwi::core {
 
 struct RebalanceObject;
 
-class Chunk {
+// A chunk is one contiguous cache-aligned slab: the header below, then the
+// cell array `k` (capacity + 1 entries, cell 0 a sentinel), then the value
+// array `v` (capacity entries).  `k`/`v` are computed offsets into the
+// slab, so creating or retiring a chunk is a single pool round trip instead
+// of three heap allocations.  Construction goes through Create/Destroy —
+// the constructor is private because a Chunk only makes sense inside its
+// slab.
+class alignas(kCacheLineSize) Chunk {
  public:
   enum class Status : std::uint32_t {
     kInfant,   // created by rebalance, immutable until normalize
@@ -90,16 +100,26 @@ class Chunk {
     return a.val_ptr > b.val_ptr;
   }
 
-  /// Creates a chunk with room for `capacity` data cells.  Cell 0 is a list
-  /// head sentinel, so `k` holds capacity + 1 cells.  `batched` (sorted by
-  /// key asc, version desc) seeds the batched prefix; rebalance passes the
-  /// compacted data here, the initial chunk passes nothing.
-  Chunk(Key min_key, std::uint32_t capacity, Chunk* parent, Status status,
-        std::span<const Item> batched = {});
+  /// Bytes of the slab backing a chunk of `capacity` data cells: header +
+  /// (capacity + 1) cells + capacity values, in one allocation.
+  static std::size_t SlabBytes(std::uint32_t capacity) {
+    return sizeof(Chunk) + (capacity + 1) * sizeof(Cell) +
+           capacity * sizeof(Value);
+  }
 
-  /// Drops the chunk's reference on its rebalance object, if engaged (see
-  /// rebalance_object.h for the lifetime story).
-  ~Chunk();
+  /// Creates a chunk with room for `capacity` data cells in a single slab
+  /// drawn from `pool` (recycled from a retired chunk when possible).  Cell
+  /// 0 is a list head sentinel, so `k` holds capacity + 1 cells.  `batched`
+  /// (sorted by key asc, version desc) seeds the batched prefix; rebalance
+  /// passes the compacted data here, the initial chunk passes nothing.
+  static Chunk* Create(reclaim::SlabPool& pool, Key min_key,
+                       std::uint32_t capacity, Chunk* parent, Status status,
+                       std::span<const Item> batched = {});
+
+  /// Destroys `chunk` and returns its slab to the pool it came from.  The
+  /// EBR retire path calls this as its deleter, so a slab re-enters
+  /// circulation only after every guard that could observe the chunk ends.
+  static void Destroy(Chunk* chunk);
 
   // ---- immutable identity ---------------------------------------------
   const Key min_key;
@@ -124,8 +144,8 @@ class Chunk {
   /// Number of sorted data cells at the front of `k` (immutable).
   const std::uint32_t batched_count;
 
-  std::unique_ptr<Cell[]> k;   // [0] = sentinel, data in [1, capacity]
-  std::unique_ptr<Value[]> v;  // data value slots [0, capacity)
+  Cell* const k;   // into the slab; [0] = sentinel, data in [1, capacity]
+  Value* const v;  // into the slab; data value slots [0, capacity)
   std::atomic<std::uint64_t> ppa[kMaxThreads];
 
   // ---- intra-chunk operations -----------------------------------------
@@ -193,6 +213,17 @@ class Chunk {
                        Version max_version) const;
 
   friend class KiWiMap;
+
+ private:
+  Chunk(reclaim::SlabPool* pool, Key min_key, std::uint32_t capacity,
+        Chunk* parent, Status status, std::span<const Item> batched);
+
+  /// Drops the chunk's reference on its rebalance object, if engaged (see
+  /// rebalance_object.h for the lifetime story).  Only Destroy calls this.
+  ~Chunk();
+
+  /// The pool the slab came from (and returns to in Destroy).
+  reclaim::SlabPool* const pool_;
 };
 
 }  // namespace kiwi::core

@@ -19,9 +19,10 @@ KiWiMap::KiWiMap(KiWiConfig config)
               "chunk capacity must fit the PPA's 16-bit cell index");
   // Permanent sentinel head (minKey = -inf, capacity 0, never engaged) plus
   // one initial data chunk covering the entire user key domain.
-  sentinel_ = new Chunk(kMinKeySentinel, 0, nullptr, Chunk::Status::kSentinel);
-  auto* first = new Chunk(kMinUserKey, config.chunk_capacity, nullptr,
-                          Chunk::Status::kNormal);
+  sentinel_ = Chunk::Create(pool_, kMinKeySentinel, 0, nullptr,
+                            Chunk::Status::kSentinel);
+  auto* first = Chunk::Create(pool_, kMinUserKey, config.chunk_capacity,
+                              nullptr, Chunk::Status::kNormal);
   sentinel_->next.Store(MarkedPtr<Chunk>(first, false));
   index_.PutUnconditional(sentinel_->min_key, sentinel_);
   index_.PutUnconditional(first->min_key, first);
@@ -56,15 +57,16 @@ KiWiMap::KiWiMap(std::span<const Entry> sorted_entries, KiWiConfig config)
     // the whole domain stays covered; later chunks start at their first key.
     const Key min_key = begin == 0 ? kMinUserKey : items.front().key;
     auto* chunk =
-        new Chunk(min_key, capacity, nullptr, Chunk::Status::kNormal,
-                  std::span<const Chunk::Item>(items));
+        Chunk::Create(pool_, min_key, capacity, nullptr,
+                      Chunk::Status::kNormal,
+                      std::span<const Chunk::Item>(items));
     KIWI_OBS_INC(obs_, chunks_created);
     if (begin == 0) {
       // Replace the initial empty chunk outright (single-threaded ctor).
       Chunk* initial = sentinel_->Next();
       sentinel_->next.Store(MarkedPtr<Chunk>(chunk, false));
       index_.DeleteConditional(initial->min_key, initial);
-      delete initial;
+      Chunk::Destroy(initial);
     } else {
       tail->next.Store(MarkedPtr<Chunk>(chunk, false));
     }
@@ -75,12 +77,13 @@ KiWiMap::KiWiMap(std::span<const Entry> sorted_entries, KiWiConfig config)
 }
 
 KiWiMap::~KiWiMap() {
-  // Externally synchronized.  Live chunks are deleted here; disconnected
-  // chunks and rebalance objects drain with ebr_'s destructor.
+  // Externally synchronized.  Live chunks are destroyed here; disconnected
+  // chunks and rebalance objects drain with ebr_'s destructor.  Their slabs
+  // all land in pool_, which frees them last (declared before ebr_).
   Chunk* chunk = sentinel_;
   while (chunk != nullptr) {
     Chunk* next = chunk->Next();
-    delete chunk;
+    Chunk::Destroy(chunk);
     chunk = next;
   }
 }

@@ -41,6 +41,7 @@
 #include "index/chunk_index.h"
 #include "obs/report.h"
 #include "reclaim/ebr.h"
+#include "reclaim/pool.h"
 
 namespace kiwi::core {
 
@@ -180,11 +181,19 @@ class KiWiMap {
   void CheckInvariants();
 
   /// Quiescent-only: release every retired chunk (the paper's "full GC"
-  /// point before measuring RAM, Figure 5).
+  /// point before measuring RAM, Figure 5).  Retired slabs land in the pool
+  /// as reusable stock; use Pool().GetStats() to separate live from pooled
+  /// bytes, or TrimPool() to hand the stock back to the OS.
   void DrainReclamation() { ebr_.CollectAllQuiescent(); }
+
+  /// Quiescent-only: release the pool's idle slabs to the OS.
+  std::size_t TrimPool() { return pool_.Trim(); }
 
   /// Reclamation diagnostics.
   const reclaim::Ebr& Reclaimer() const { return ebr_; }
+
+  /// Slab-pool diagnostics (hit/miss counters, live vs pooled bytes).
+  const reclaim::SlabPool& Pool() const { return pool_; }
 
  private:
   /// Shared body of Put and Remove (a remove is a put of the tombstone).
@@ -258,6 +267,10 @@ class KiWiMap {
   Xoshiro256& ThreadRng();
 
   RebalancePolicy policy_;
+  /// Slab stock for chunks and rebalance objects.  Declared before ebr_ so
+  /// it outlives it: EBR's destructor drains retired chunks, whose deleters
+  /// return slabs here.
+  mutable reclaim::SlabPool pool_;
   mutable reclaim::Ebr ebr_;
   index::ChunkIndex index_;
   GlobalVersion gv_;

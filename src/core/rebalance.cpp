@@ -158,7 +158,11 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
       // Our own Replace call flagged the sector when its splice CAS won.
       KIWI_ASSERT(c->retired.load(std::memory_order_relaxed),
                   "splice winner retiring a chunk it never flagged");
-      ebr_.RetireObject(c);
+      // The deleter returns the slab to the pool; EBR's grace period is
+      // what makes the recycled slab safe to reissue.
+      ebr_.Retire(c, [](void* chunk_ptr) {
+        Chunk::Destroy(static_cast<Chunk*>(chunk_ptr));
+      });
       KIWI_OBS_INC(obs_, chunks_retired);
       if (c == last) break;
       c = next;
@@ -185,7 +189,7 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
       // `ro` while still reachable (see the orphan discussion in DESIGN.md).
       // Reachable + done ⇒ orphan ⇒ re-engage under a fresh object.
       if (FindListPredecessor(chunk) == nullptr) return nullptr;  // replaced
-      auto* fresh = new RebalanceObject(chunk, chunk->Next());
+      auto* fresh = RebalanceObject::Create(pool_, chunk, chunk->Next());
       if (chunk->ro.compare_exchange_strong(existing, fresh,
                                             std::memory_order_seq_cst)) {
         // The chunk's reference moved from `existing` to `fresh`; drop the
@@ -196,18 +200,18 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
         ro = fresh;
         break;
       }
-      delete fresh;
+      RebalanceObject::Destroy(fresh);  // never published
       continue;
     }
     if (existing == nullptr) {
-      auto* fresh = new RebalanceObject(chunk, chunk->Next());
+      auto* fresh = RebalanceObject::Create(pool_, chunk, chunk->Next());
       RebalanceObject* expected = nullptr;
       if (chunk->ro.compare_exchange_strong(expected, fresh,
                                             std::memory_order_seq_cst)) {
         ro = fresh;
         break;
       }
-      delete fresh;
+      RebalanceObject::Destroy(fresh);  // never published
       continue;
     }
     ro = existing;
@@ -435,8 +439,8 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
     // exactly preserved; later chunks start at their first key.
     const Key min_key =
         s == 0 ? ro->first->min_key : kept[seg_begin].key;
-    auto* chunk = new Chunk(
-        min_key, capacity, ro->first, Chunk::Status::kInfant,
+    auto* chunk = Chunk::Create(
+        pool_, min_key, capacity, ro->first, Chunk::Status::kInfant,
         std::span<const Chunk::Item>(kept.data() + seg_begin,
                                      seg_end - seg_begin));
     KIWI_OBS_INC(obs_, chunks_created);
@@ -595,13 +599,14 @@ Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
 }
 
 void KiWiMap::DiscardSection(Chunk* first) {
-  // A consensus-losing section was never visible to anyone: plain delete.
+  // A consensus-losing section was never visible to anyone: its slabs go
+  // straight back to the pool, no grace period needed.
   while (first != nullptr) {
     Chunk* next = first->Next();
     KIWI_ASSERT(!first->retired.exchange(true),
                 "discarding a chunk that was already retired through EBR");
     KIWI_TRACE(kChunkDiscard, reinterpret_cast<std::uintptr_t>(first), 0);
-    delete first;
+    Chunk::Destroy(first);
     first = next;
   }
 }

@@ -14,15 +14,35 @@
 
 #include <atomic>
 #include <cstdint>
+#include <new>
+
+#include "reclaim/pool.h"
 
 namespace kiwi::core {
 
 class Chunk;
 
 struct RebalanceObject {
-  RebalanceObject(Chunk* first_chunk, Chunk* next_candidate)
-      : first(first_chunk), next(next_candidate) {}
+  /// Rebalance objects churn at rebalance rate, so they draw from (and
+  /// return to) the map's slab pool like the chunks they describe.
+  static RebalanceObject* Create(reclaim::SlabPool& pool, Chunk* first_chunk,
+                                 Chunk* next_candidate) {
+    void* block = pool.Allocate(sizeof(RebalanceObject));
+    return new (block) RebalanceObject(&pool, first_chunk, next_candidate);
+  }
 
+  static void Destroy(RebalanceObject* ro) {
+    reclaim::SlabPool* pool = ro->pool;
+    ro->~RebalanceObject();
+    pool->Deallocate(ro, sizeof(RebalanceObject));
+  }
+
+  RebalanceObject(reclaim::SlabPool* pool_arg, Chunk* first_chunk,
+                  Chunk* next_candidate)
+      : pool(pool_arg), first(first_chunk), next(next_candidate) {}
+
+  /// The pool this object's block came from.
+  reclaim::SlabPool* const pool;
   /// The trigger chunk; engagement grows forward from here.
   Chunk* const first;
   /// Next chunk to consider engaging; nullptr once engagement is sealed.
@@ -51,7 +71,7 @@ struct RebalanceObject {
   }
   static void Unref(RebalanceObject* ro) {
     if (ro->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      delete ro;
+      Destroy(ro);
     }
   }
 };

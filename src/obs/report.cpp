@@ -94,6 +94,14 @@ std::string DebugReport::ToText() const {
          (unsigned long long)gauges.ebr_epoch,
          (unsigned long long)gauges.global_version,
          (unsigned long long)gauges.memory_bytes);
+  Append(out,
+         "  pool_hits=%llu pool_misses=%llu pool_recycled=%llu "
+         "pool_live_bytes=%llu pool_pooled_bytes=%llu\n",
+         (unsigned long long)gauges.pool_hits,
+         (unsigned long long)gauges.pool_misses,
+         (unsigned long long)gauges.pool_recycled,
+         (unsigned long long)gauges.pool_live_bytes,
+         (unsigned long long)gauges.pool_pooled_bytes);
   return out;
 }
 
@@ -146,7 +154,12 @@ std::string DebugReport::ToJson() const {
   field("ebr_pending", gauges.ebr_pending);
   field("ebr_epoch", gauges.ebr_epoch);
   field("global_version", gauges.global_version);
-  field("memory_bytes", gauges.memory_bytes, /*last=*/true);
+  field("memory_bytes", gauges.memory_bytes);
+  field("pool_hits", gauges.pool_hits);
+  field("pool_misses", gauges.pool_misses);
+  field("pool_recycled", gauges.pool_recycled);
+  field("pool_live_bytes", gauges.pool_live_bytes);
+  field("pool_pooled_bytes", gauges.pool_pooled_bytes, /*last=*/true);
   out += "}}";
   return out;
 }
@@ -186,6 +199,12 @@ obs::DebugReport KiWiMap::DebugReport() {
   report.gauges.ebr_epoch = ebr_.GlobalEpoch();
   report.gauges.global_version = gv_.Load();
   report.gauges.memory_bytes = MemoryFootprint();
+  const reclaim::SlabPool::Stats pool = pool_.GetStats();
+  report.gauges.pool_hits = pool.hits;
+  report.gauges.pool_misses = pool.misses;
+  report.gauges.pool_recycled = pool.recycled;
+  report.gauges.pool_live_bytes = pool.live_bytes;
+  report.gauges.pool_pooled_bytes = pool.pooled_bytes;
   return report;
 }
 

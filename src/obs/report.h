@@ -51,6 +51,14 @@ struct DebugReport {
     std::uint64_t ebr_epoch = 0;        // current global epoch
     std::uint64_t global_version = 0;   // GV (scans performed + 1)
     std::uint64_t memory_bytes = 0;     // chunks + index footprint
+    // Slab-pool recycling (see src/reclaim/pool.h).  hits/misses are
+    // monotone allocation counters; the byte gauges split the pool's view
+    // of memory into handed-out (live) vs idle recycled stock (pooled).
+    std::uint64_t pool_hits = 0;         // allocations served from the pool
+    std::uint64_t pool_misses = 0;       // allocations that went to the OS
+    std::uint64_t pool_recycled = 0;     // slabs captured for reuse
+    std::uint64_t pool_live_bytes = 0;   // slab bytes handed out, unreturned
+    std::uint64_t pool_pooled_bytes = 0;  // idle slab bytes held for reuse
   } gauges;
 
   /// Multi-line human-readable rendering (for terminals and logs).

@@ -3,19 +3,31 @@
 // helping, and harvest.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/thread_registry.h"
 #include "core/chunk.h"
+#include "reclaim/pool.h"
 
 namespace kiwi::core {
 namespace {
 
 using Item = Chunk::Item;
 
-Chunk MakeChunkWith(std::vector<Item> items, std::uint32_t capacity = 64) {
-  return Chunk(kMinUserKey, capacity, nullptr, Chunk::Status::kNormal,
-               items);
+// Chunks are slab-allocated through a SlabPool; tests share one and own the
+// result through a Destroy-ing unique_ptr.
+using ChunkPtr = std::unique_ptr<Chunk, decltype(&Chunk::Destroy)>;
+
+reclaim::SlabPool& TestPool() {
+  static reclaim::SlabPool pool;
+  return pool;
+}
+
+ChunkPtr MakeChunkWith(std::vector<Item> items, std::uint32_t capacity = 64) {
+  return ChunkPtr(Chunk::Create(TestPool(), kMinUserKey, capacity, nullptr,
+                                Chunk::Status::kNormal, items),
+                  &Chunk::Destroy);
 }
 
 TEST(PpaWord, PackRoundTrips) {
@@ -36,7 +48,8 @@ TEST(ChunkBatched, ConstructorSeedsSortedPrefix) {
   for (int i = 0; i < 10; ++i) {
     items.push_back(Item{100 + i * 10, 1, 0, i});
   }
-  Chunk chunk = MakeChunkWith(items);
+  ChunkPtr chunk_owner = MakeChunkWith(items);
+  Chunk& chunk = *chunk_owner;
   EXPECT_EQ(chunk.batched_count, 10u);
   EXPECT_EQ(chunk.AllocatedCells(), 10u);
   // Walk the linked list: sequential 1..10 with correct payloads.
@@ -54,7 +67,8 @@ TEST(ChunkBatched, ConstructorSeedsSortedPrefix) {
 TEST(ChunkBatched, BinarySearchFindsStrictPredecessor) {
   std::vector<Item> items;
   for (int i = 0; i < 16; ++i) items.push_back(Item{10 * (i + 1), 1, 0, i});
-  Chunk chunk = MakeChunkWith(items);
+  ChunkPtr chunk_owner = MakeChunkWith(items);
+  Chunk& chunk = *chunk_owner;
   EXPECT_EQ(chunk.BatchedPredecessor(5), 0);     // sentinel
   EXPECT_EQ(chunk.BatchedPredecessor(10), 0);    // strict: 10 not < 10
   EXPECT_EQ(chunk.BatchedPredecessor(11), 1);
@@ -65,7 +79,8 @@ TEST(ChunkBatched, BinarySearchFindsStrictPredecessor) {
 TEST(ChunkBatched, VersionsDescendWithinKey) {
   // Two versions of key 50, newest first.
   std::vector<Item> items{{50, 7, 0, 700}, {50, 3, 1, 300}, {60, 1, 2, 600}};
-  Chunk chunk = MakeChunkWith(items);
+  ChunkPtr chunk_owner = MakeChunkWith(items);
+  Chunk& chunk = *chunk_owner;
   // Latest at unbounded read point: version 7.
   auto latest = chunk.FindLatest(50, kMaxReadVersion);
   ASSERT_TRUE(latest.found);
@@ -82,7 +97,8 @@ TEST(ChunkBatched, VersionsDescendWithinKey) {
 
 TEST(ChunkFind, ReportsInsertionPoint) {
   std::vector<Item> items{{10, 1, 0, 0}, {30, 1, 1, 0}};
-  Chunk chunk = MakeChunkWith(items);
+  ChunkPtr chunk_owner = MakeChunkWith(items);
+  Chunk& chunk = *chunk_owner;
   std::int32_t pred = -2, succ = -2;
   // Missing key between the two: pred = cell(10), succ = cell(30).
   EXPECT_EQ(chunk.FindCell(20, 1, &pred, &succ), Chunk::kNullIdx);
@@ -100,7 +116,8 @@ TEST(ChunkFind, ReportsInsertionPoint) {
 }
 
 TEST(ChunkPpa, PendingPutVisibleThroughFindLatest) {
-  Chunk chunk = MakeChunkWith({});
+  ChunkPtr chunk_owner = MakeChunkWith({});
+  Chunk& chunk = *chunk_owner;
   // Simulate the put protocol up to version acquisition: value + cell.
   chunk.v[0] = 4242;
   chunk.k[1].key = 77;
@@ -118,7 +135,8 @@ TEST(ChunkPpa, PendingPutVisibleThroughFindLatest) {
 
 TEST(ChunkPpa, VersionlessEntryIgnoredByReadsButHelped) {
   GlobalVersion gv;
-  Chunk chunk = MakeChunkWith({});
+  ChunkPtr chunk_owner = MakeChunkWith({});
+  Chunk& chunk = *chunk_owner;
   chunk.v[0] = 1;
   chunk.k[1].key = 55;
   chunk.k[1].val_ptr.store(0);
@@ -136,7 +154,8 @@ TEST(ChunkPpa, VersionlessEntryIgnoredByReadsButHelped) {
 
 TEST(ChunkPpa, HelpRespectsKeyRange) {
   GlobalVersion gv;
-  Chunk chunk = MakeChunkWith({});
+  ChunkPtr chunk_owner = MakeChunkWith({});
+  Chunk& chunk = *chunk_owner;
   chunk.k[1].key = 500;
   chunk.k[1].val_ptr.store(0);
   const std::size_t slot = ThreadRegistry::CurrentSlot();
@@ -147,7 +166,8 @@ TEST(ChunkPpa, HelpRespectsKeyRange) {
 }
 
 TEST(ChunkPpa, FreezeBlocksVersionlessEntries) {
-  Chunk chunk = MakeChunkWith({});
+  ChunkPtr chunk_owner = MakeChunkWith({});
+  Chunk& chunk = *chunk_owner;
   const std::size_t slot = ThreadRegistry::CurrentSlot();
   // One versionless pending put and one already-versioned entry.
   chunk.ppa[slot].store(Chunk::PackPpa(Chunk::kPpaVerBottom, 3));
@@ -166,7 +186,8 @@ TEST(ChunkPpa, FreezeBlocksVersionlessEntries) {
 
 TEST(ChunkHarvest, CollectMergesListAndPpa) {
   std::vector<Item> items{{10, 2, 0, 100}, {20, 2, 1, 200}};
-  Chunk chunk = MakeChunkWith(items);
+  ChunkPtr chunk_owner = MakeChunkWith(items);
+  Chunk& chunk = *chunk_owner;
   // A versioned pending put for a new key 15.
   chunk.v[2] = 150;
   chunk.k[3].key = 15;
@@ -188,7 +209,8 @@ TEST(ChunkHarvest, DuplicateKeyVersionKeepsLargerValPtr) {
   // List holds {50, v3, valPtr 0}; PPA publishes {50, v3, valPtr 1}: the
   // larger location wins (paper's tie break), exactly once in the harvest.
   std::vector<Item> items{{50, 3, 0, 111}};
-  Chunk chunk = MakeChunkWith(items);
+  ChunkPtr chunk_owner = MakeChunkWith(items);
+  Chunk& chunk = *chunk_owner;
   chunk.v[1] = 222;
   chunk.k[2].key = 50;
   chunk.k[2].val_ptr.store(1);
@@ -206,8 +228,14 @@ TEST(ChunkHarvest, DuplicateKeyVersionKeepsLargerValPtr) {
 }
 
 TEST(ChunkGeometry, CoversKeyUsesNextMinKey) {
-  Chunk low(kMinUserKey, 8, nullptr, Chunk::Status::kNormal);
-  Chunk high(1000, 8, nullptr, Chunk::Status::kNormal);
+  ChunkPtr low_owner(Chunk::Create(TestPool(), kMinUserKey, 8, nullptr,
+                                   Chunk::Status::kNormal),
+                     &Chunk::Destroy);
+  ChunkPtr high_owner(Chunk::Create(TestPool(), 1000, 8, nullptr,
+                                    Chunk::Status::kNormal),
+                      &Chunk::Destroy);
+  Chunk& low = *low_owner;
+  Chunk& high = *high_owner;
   low.next.Store(MarkedPtr<Chunk>(&high, false));
   EXPECT_TRUE(low.CoversKey(kMinUserKey));
   EXPECT_TRUE(low.CoversKey(999));

@@ -43,7 +43,7 @@ class KiWiTestPeer {
     Chunk* chunk = map_.LocateChunk(key);
     ASSERT_EQ(chunk->ro.load(std::memory_order_acquire), nullptr)
         << "test requires a chunk not already engaged";
-    auto* ro = new RebalanceObject(chunk, chunk->Next());
+    auto* ro = RebalanceObject::Create(map_.pool_, chunk, chunk->Next());
     // A finished rebalance: replacement agreed and splice done.
     ro->next.store(nullptr, std::memory_order_release);
     ro->replacement.store(chunk, std::memory_order_release);  // arbitrary

@@ -289,7 +289,9 @@ TEST(TraceCrash, DoubleRetireProducesPostMortem) {
     for (Key k = 1; k <= 2000; ++k) map.Put(k, k);
     // A chunk EBR already retired being discarded again — the deviation-9
     // invariant DiscardSection aborts on.
-    auto* chunk = new core::Chunk(1, 8, nullptr, core::Chunk::Status::kNormal);
+    static reclaim::SlabPool crash_pool;
+    auto* chunk = core::Chunk::Create(crash_pool, 1, 8, nullptr,
+                                      core::Chunk::Status::kNormal);
     chunk->retired.store(true, std::memory_order_relaxed);
     core::KiWiTestPeer::Discard(chunk);
     ::_exit(0);  // not reached
