@@ -1,0 +1,34 @@
+// Environment knobs for test sizing, so one compiled binary serves both the
+// quick PR-CI configuration and the long nightly one.
+//
+// KIWI_TEST_ITERS is a scale factor applied to every stress/soak iteration
+// count that opts in via ScaledIters(): unset or "1" keeps the checked-in
+// defaults, "10" makes the nightly run ten times longer, "0.2" gives a
+// quick smoke.  Fractions are allowed; results are clamped to at least 1.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace kiwi {
+
+/// The KIWI_TEST_ITERS multiplier (1.0 when unset or unparseable).
+inline double TestIterScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("KIWI_TEST_ITERS");
+    if (env == nullptr || *env == '\0') return 1.0;
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end == env || parsed <= 0.0) return 1.0;
+    return parsed;
+  }();
+  return scale;
+}
+
+/// `base` iterations scaled by KIWI_TEST_ITERS, never below 1.
+inline int ScaledIters(int base) {
+  return std::max(1, static_cast<int>(static_cast<double>(base) *
+                                      TestIterScale()));
+}
+
+}  // namespace kiwi

@@ -89,13 +89,32 @@ KiWiMap::~KiWiMap() {
 }
 
 Chunk* KiWiMap::LocateChunk(Key key) const {
-  auto* chunk = static_cast<Chunk*>(index_.Lookup(key));
-  if (chunk == nullptr) chunk = sentinel_;
-  // The index may lag the list (lazy updates), so finish with a traversal.
+  // The index may lag the list (lazy updates), so finish with a traversal —
+  // but the lag can also hand back a chunk that was already spliced out.  A
+  // retired chunk's next pointers still chain through its dead section,
+  // whose frozen cells miss every put that completed in the replacement
+  // chunks, so a reader that trusts it returns stale data (found by the
+  // linearizability fuzzer, seed 74: a scan observed a value overwritten
+  // before the scan began).  Same doctrine as FindListPredecessor: never
+  // start from or walk through a retired chunk — restart from the sentinel,
+  // which is never retired.  Each restart implies another thread's splice
+  // completed in the meantime, so this cannot loop without global progress.
   while (true) {
-    Chunk* next = chunk->Next();
-    if (next == nullptr || next->min_key > key) return chunk;
-    chunk = next;
+    auto* chunk = static_cast<Chunk*>(index_.Lookup(key));
+    if (chunk == nullptr || chunk->retired.load(std::memory_order_acquire)) {
+      chunk = sentinel_;
+    }
+    bool dead_region = false;
+    while (true) {
+      Chunk* next = chunk->Next();
+      if (next == nullptr || next->min_key > key) break;
+      chunk = next;
+      if (chunk->retired.load(std::memory_order_acquire)) {
+        dead_region = true;
+        break;
+      }
+    }
+    if (!dead_region) return chunk;
   }
 }
 
@@ -244,8 +263,12 @@ std::optional<Value> KiWiMap::Get(Key key) {
   reclaim::EbrGuard guard(ebr_);
   Chunk* chunk = LocateChunk(key);
   // Help any pending put to this key acquire a version: ignoring it could
-  // order this get inconsistently with a later scan (paper Figure 2).
-  chunk->HelpPendingPuts(gv_, key, key);
+  // order this get inconsistently with a later scan (paper Figure 2).  The
+  // fuzz mutant kSkipGetHelp re-breaks exactly this line.
+  if (!TestHooks::MutantEnabled(TestHooks::kSkipGetHelp)) [[likely]] {
+    chunk->HelpPendingPuts(gv_, key, key);
+  }
+  TestHooks::Run(TestHooks::get_after_help);
   const Chunk::LatestResult latest = chunk->FindLatest(key, kMaxReadVersion);
   const bool hit = latest.found && !latest.is_tombstone;
   (void)KIWI_TRACE_SAMPLED(kGetOp, key, hit);
@@ -268,11 +291,26 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
 
   // -- 1. acquire a read point, synchronizing with rebalance via the PSA
   //    (paper lines 32-35): publish intent, F&I GV, install (or adopt the
-  //    version a helping rebalance installed).
-  const std::uint64_t seq = entry.PublishPending(from_key, to_key);
-  const Version fetched = gv_.FetchIncrement();
-  const Version read_point = entry.InstallOwn(seq, fetched);
-  if (traced) KIWI_TRACE(kScanVersion, read_point, read_point != fetched);
+  //    version a helping rebalance installed).  The publish-before-F&I
+  //    order is load-bearing (fuzz mutant kSkipScanPublish re-breaks it):
+  //    a rebalance that cannot see this scan's entry may compact away
+  //    versions at or below its read point.
+  std::uint64_t seq = 0;
+  Version read_point;
+  const bool published =
+      !TestHooks::MutantEnabled(TestHooks::kSkipScanPublish);
+  if (published) [[likely]] {
+    seq = entry.PublishPending(from_key, to_key);
+    TestHooks::Run(TestHooks::scan_before_version_install);
+    const Version fetched = gv_.FetchIncrement();
+    read_point = entry.InstallOwn(seq, fetched);
+    if (traced) KIWI_TRACE(kScanVersion, read_point, read_point != fetched);
+  } else {
+    read_point = gv_.FetchIncrement();  // mutant: invisible to rebalance
+    // Fire the same site so the fuzzer can stall the mutant scan in its
+    // vulnerable window (read point taken, chunks not yet read).
+    TestHooks::Run(TestHooks::scan_before_version_install);
+  }
 
   // -- 2. read every key in range at `read_point`.
   std::size_t emitted = 0;
@@ -286,7 +324,7 @@ std::size_t KiWiMap::Scan(Key from_key, Key to_key,
     }
   }
 
-  entry.Clear(seq);
+  if (published) [[likely]] entry.Clear(seq);
   KIWI_OBS_ADD(obs_, scan_keys, emitted);
   if (traced) KIWI_TRACE(kScanEnd, emitted, 0);
   return emitted;

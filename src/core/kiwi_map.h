@@ -288,6 +288,9 @@ class KiWiMap {
 #endif
 
   friend class KiWiTestPeer;
+  // Directed fuzz scenarios (src/fuzz/scenario.cpp) drive Rebalance at
+  // hand-built chunk layouts to pin consensus races deterministically.
+  friend class FuzzScenarioPeer;
 };
 
 }  // namespace kiwi::core

@@ -225,6 +225,9 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
   while (true) {
     Chunk* next = ro->next.load(std::memory_order_seq_cst);
     if (next == nullptr) break;  // sealed
+    // A stall here is the disagreement window: another helper can extend or
+    // seal the run before our CAS, leaving our observed length stale.
+    TestHooks::Run(TestHooks::rebalance_during_engage);
     const bool want =
         next->status.load(std::memory_order_acquire) !=
             Chunk::Status::kSentinel &&
@@ -257,6 +260,12 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
   // and every later stage — freeze, build, stitch, retire — must agree on
   // the sector or a retired chunk can be left reachable.
   Chunk* observed_last = FindLastEngaged(ro);
+  if (TestHooks::MutantEnabled(TestHooks::kLastEngagedRace)) [[unlikely]] {
+    // Mutant: the pre-consensus seed behaviour — every helper trusts its
+    // own view of the engaged run (PR1's latent double-retire race).
+    *last_out = observed_last;
+    return ro;
+  }
   Chunk* expected_last = nullptr;
   ro->last_engaged.compare_exchange_strong(expected_last, observed_last,
                                            std::memory_order_seq_cst);
@@ -348,6 +357,14 @@ void KiWiMap::CompactKeyRun(const std::vector<Chunk::Item>& items,
     const Chunk::Item& item = items[i];
     if (item.version == previous) continue;  // {key,version} tie loser
     previous = item.version;
+    if (item.value == kTombstoneValue &&
+        TestHooks::MutantEnabled(TestHooks::kEagerTombstonePurge))
+        [[unlikely]] {
+      // Mutant: the paper's literal line 109 — drop the tombstone and all
+      // older versions regardless of min_version (reverts deviation 1; a
+      // pending scan below the tombstone's version loses its value).
+      break;
+    }
     if (item.version > min_version) {
       out.push_back(item);
       continue;
@@ -525,6 +542,9 @@ bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
 void KiWiMap::Normalize(RebalanceObject* ro) {
   reclaim::EbrGuard guard(ebr_);
   KIWI_TRACE(kRebIndex, reinterpret_cast<std::uintptr_t>(ro), 0);
+  // The replacement section is live but the index still aims at the old
+  // chunks; lookups crossing this window must recover via the list walk.
+  TestHooks::Run(TestHooks::rebalance_before_index_update);
   // ---- stage 6: index update -----------------------------------------
   // Unindex the engaged chunks (walk by ro membership)...
   for (Chunk* c = ro->first;

@@ -1,0 +1,254 @@
+#include "fuzz/checker.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "harness/linearizability.h"
+
+namespace kiwi::fuzz {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+const char* KindName(FuzzOp::Kind k) {
+  switch (k) {
+    case FuzzOp::Kind::kPut: return "put";
+    case FuzzOp::Kind::kGet: return "get";
+    case FuzzOp::Kind::kRemove: return "remove";
+    case FuzzOp::Kind::kScan: return "scan";
+  }
+  return "?";
+}
+
+struct Interval {
+  std::uint64_t invoke;
+  std::uint64_t response;
+};
+
+/// Everything the checker needs about one key, projected from the history.
+struct KeyOps {
+  std::vector<harness::LinOp> register_history;  // layer 1 input
+  std::vector<Interval> writes;                  // puts (for absence check)
+  std::vector<Interval> removes;
+  /// All mutators (puts + removes), for the observed-value upper bound.
+  std::vector<Interval> mutators;
+  /// value -> writer interval; preload maps to {0, 0}.
+  std::unordered_map<Value, Interval> writer_of;
+  bool duplicate_values = false;  // some value written twice: skip cut LB/UB
+  bool preloaded = false;
+  Value preload_value = 0;
+  bool touched = false;  // any op or preload mentions this key
+};
+
+std::string DescribeOp(const FuzzOp& op) {
+  std::ostringstream os;
+  os << KindName(op.kind) << " t" << op.thread << " key=" << op.key;
+  if (op.kind == FuzzOp::Kind::kScan) os << ".." << op.to_key;
+  if (op.kind == FuzzOp::Kind::kPut) os << " val=" << op.value;
+  if (op.kind == FuzzOp::Kind::kGet) {
+    os << (op.found ? " -> hit val=" : " -> miss");
+    if (op.found) os << op.value;
+  }
+  os << " [" << op.invoke << "," << op.response << "]";
+  return os.str();
+}
+
+void AddWriter(KeyOps& ops, Value value, Interval iv) {
+  if (!ops.writer_of.emplace(value, iv).second) ops.duplicate_values = true;
+}
+
+/// Layer 2 for one scan: does some tick t in [scan.invoke, scan.response]
+/// satisfy every per-key necessary condition?
+CheckResult CheckScanCut(const FuzzOp& scan,
+                         const std::map<Key, KeyOps>& keys) {
+  std::uint64_t lo = scan.invoke;
+  std::uint64_t hi = scan.response;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> exclusions;
+
+  std::set<Key> observed;
+  for (const auto& [k, v] : scan.scan_result) observed.insert(k);
+
+  for (const auto& [k, v] : scan.scan_result) {
+    const auto it = keys.find(k);
+    // An unknown observed key/value is a layer-1 failure; don't constrain.
+    if (it == keys.end() || it->second.duplicate_values) continue;
+    const KeyOps& ops = it->second;
+    const auto writer = ops.writer_of.find(v);
+    if (writer == ops.writer_of.end()) continue;  // layer 1 reports this
+    const Interval w = writer->second;
+    lo = std::max(lo, w.invoke);
+    for (const Interval& m : ops.mutators) {
+      if (m.invoke == w.invoke && m.response == w.response) continue;  // W
+      if (m.invoke >= w.response) hi = std::min(hi, m.response);
+    }
+  }
+
+  for (auto it = keys.lower_bound(scan.key);
+       it != keys.end() && it->first <= scan.to_key; ++it) {
+    if (observed.contains(it->first)) continue;
+    const KeyOps& ops = it->second;
+    if (!ops.touched) continue;
+    // Key absent from the scan: every write W that surely completed before
+    // the cut must be covered by a remove that can land between W and the
+    // cut.  r_w is the earliest remove that could follow W; ticks in
+    // (W.response, r_w) have no covering remove, so the key must be present
+    // there -- exclude them.
+    auto exclude_for_write = [&](Interval w) {
+      std::uint64_t r_w = kInf;
+      for (const Interval& r : ops.removes) {
+        if (r.response >= w.invoke) r_w = std::min(r_w, r.invoke);
+      }
+      const std::uint64_t begin = w.response + 1;
+      const std::uint64_t end = (r_w == kInf) ? kInf : r_w - 1;  // inclusive
+      if (begin <= end) exclusions.emplace_back(begin, end);
+    };
+    if (ops.preloaded) exclude_for_write(Interval{0, 0});
+    for (const Interval& w : ops.writes) exclude_for_write(w);
+  }
+
+  if (lo <= hi) {
+    // Sweep the exclusions over [lo, hi] looking for one admissible tick.
+    std::sort(exclusions.begin(), exclusions.end());
+    std::uint64_t cursor = lo;
+    bool feasible = false;
+    for (const auto& [begin, end] : exclusions) {
+      if (begin > cursor) break;  // cursor tick is unexcluded
+      if (end >= cursor) {
+        if (end >= hi) { cursor = hi + 1; break; }
+        cursor = end + 1;
+      }
+    }
+    feasible = cursor <= hi;
+    if (feasible) return {};
+  }
+
+  std::ostringstream os;
+  os << "torn scan snapshot: no single linearization tick in ["
+     << scan.invoke << "," << scan.response
+     << "] is consistent with all observations of " << DescribeOp(scan)
+     << " (feasible interval collapsed to [" << lo << "," << hi << "]"
+     << (exclusions.empty() ? "" : " minus absence exclusions") << ")";
+  return {false, os.str()};
+}
+
+}  // namespace
+
+CheckResult CheckHistory(const History& history) {
+  std::map<Key, KeyOps> keys;
+  for (const auto& [k, v] : history.initial) {
+    KeyOps& ops = keys[k];
+    ops.preloaded = true;
+    ops.preload_value = v;
+    ops.touched = true;
+    AddWriter(ops, v, Interval{0, 0});
+  }
+
+  // Project single-key ops; remember scans for a second pass (their per-key
+  // reads need the final `touched` map so misses on never-touched keys can
+  // be skipped).
+  std::vector<const FuzzOp*> scans;
+  for (const FuzzOp& op : history.ops) {
+    KIWI_ASSERT(op.invoke < op.response, "malformed fuzz op interval");
+    switch (op.kind) {
+      case FuzzOp::Kind::kPut: {
+        KeyOps& ops = keys[op.key];
+        ops.touched = true;
+        ops.register_history.push_back({harness::LinOp::Kind::kWrite,
+                                        op.value, false, op.invoke,
+                                        op.response});
+        ops.writes.push_back({op.invoke, op.response});
+        ops.mutators.push_back({op.invoke, op.response});
+        AddWriter(ops, op.value, Interval{op.invoke, op.response});
+        break;
+      }
+      case FuzzOp::Kind::kRemove: {
+        // The remove's `found` result is not modelled (register semantics
+        // treat remove as a blind mutator); dropping it is sound.
+        KeyOps& ops = keys[op.key];
+        ops.touched = true;
+        ops.register_history.push_back({harness::LinOp::Kind::kRemove, 0,
+                                        false, op.invoke, op.response});
+        ops.removes.push_back({op.invoke, op.response});
+        ops.mutators.push_back({op.invoke, op.response});
+        break;
+      }
+      case FuzzOp::Kind::kGet: {
+        KeyOps& ops = keys[op.key];
+        ops.touched = true;
+        ops.register_history.push_back({harness::LinOp::Kind::kRead,
+                                        op.value, op.found, op.invoke,
+                                        op.response});
+        break;
+      }
+      case FuzzOp::Kind::kScan:
+        scans.push_back(&op);
+        break;
+    }
+  }
+
+  for (const FuzzOp* scan : scans) {
+    // Structural contract: ascending unique keys, all within range.
+    Key prev = 0;
+    bool first = true;
+    for (const auto& [k, v] : scan->scan_result) {
+      if (k < scan->key || k > scan->to_key) {
+        return {false, "scan returned out-of-range key " + std::to_string(k) +
+                           ": " + DescribeOp(*scan)};
+      }
+      if (!first && k <= prev) {
+        return {false, "scan keys not strictly ascending at key " +
+                           std::to_string(k) + ": " + DescribeOp(*scan)};
+      }
+      prev = k;
+      first = false;
+    }
+    // Fold per-key observations into the register histories.
+    std::set<Key> observed;
+    for (const auto& [k, v] : scan->scan_result) {
+      observed.insert(k);
+      keys[k].register_history.push_back({harness::LinOp::Kind::kRead, v,
+                                          true, scan->invoke,
+                                          scan->response});
+    }
+    for (auto it = keys.lower_bound(scan->key);
+         it != keys.end() && it->first <= scan->to_key; ++it) {
+      if (observed.contains(it->first) || !it->second.touched) continue;
+      it->second.register_history.push_back({harness::LinOp::Kind::kRead, 0,
+                                             false, scan->invoke,
+                                             scan->response});
+    }
+  }
+
+  // Layer 1: each key's projected register history must linearize.
+  for (auto& [k, ops] : keys) {
+    if (ops.register_history.empty()) continue;
+    if (!harness::IsLinearizableRegisterHistory(
+            ops.register_history, ops.preloaded, ops.preload_value)) {
+      std::ostringstream os;
+      os << "key " << k << ": no valid linearization of its "
+         << ops.register_history.size() << "-op register history"
+         << (ops.preloaded
+                 ? " (preloaded val=" + std::to_string(ops.preload_value) + ")"
+                 : "");
+      return {false, os.str()};
+    }
+  }
+
+  // Layer 2: each scan needs one consistent cut.
+  for (const FuzzOp* scan : scans) {
+    CheckResult r = CheckScanCut(*scan, keys);
+    if (!r.ok) return r;
+  }
+  return {};
+}
+
+}  // namespace kiwi::fuzz

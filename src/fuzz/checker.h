@@ -1,0 +1,53 @@
+// Multi-key linearizability checker for recorded fuzz histories.
+//
+// Two layers, both sound (a reported violation is always a genuine
+// linearizability violation):
+//
+// Layer 1 — per-key register decomposition.  Linearizability is local, so a
+// multi-key history of single-key put/get/remove ops is linearizable iff
+// each key's projected register history is.  Each scan contributes one read
+// per key it covers (hit with the observed value, or miss), over the scan's
+// full [invoke, response] interval.  This layer is complete for single-key
+// operations; for scans it only checks that each per-key observation is
+// *individually* explainable, not that all observations come from one
+// atomic cut.
+//
+// Layer 2 — scan cut consistency.  Requires each key's written values to be
+// unique (the fuzzer guarantees this; keys with duplicate written values
+// skip their observed-value constraints, preserving soundness).  For each
+// scan, intersect the necessary real-time conditions on a single
+// linearization tick t in [scan.invoke, scan.response]:
+//   * observed k=v with writer W:       t >= W.invoke, and
+//     t <= min{ M.response : mutator M != W on k with M.invoke >= W.response }
+//     (such an M is after W in real time; were t beyond M's response, M
+//     would be linearized before t and W would no longer be latest);
+//   * absent k, write W on k:           t outside (W.response, r_W) where
+//     r_W = min{ R.invoke : remove R on k with R.response >= W.invoke }
+//     (with no remove able to land between W and t, k must be present).
+// An empty intersection means no single cut explains the scan: a torn
+// snapshot.  This layer is deliberately incomplete (necessary, not
+// sufficient, conditions) but catches the realistic tear — a scan
+// observing key A from before a concurrent rebalance and key B from after.
+//
+// Boundary handling is generous throughout (>= / +1 in the direction that
+// admits more linearizations) so integer tick granularity can never turn a
+// legal history into a reported violation.
+#pragma once
+
+#include <string>
+
+#include "fuzz/history.h"
+
+namespace kiwi::fuzz {
+
+struct CheckResult {
+  bool ok = true;
+  /// First violation found, with key / op / scan details for the artifact.
+  std::string message;
+};
+
+/// Check a recorded history (layer 1 then layer 2).  Also validates scan
+/// structure: results must be strictly ascending and within [key, to_key].
+CheckResult CheckHistory(const History& history);
+
+}  // namespace kiwi::fuzz

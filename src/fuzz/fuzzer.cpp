@@ -1,0 +1,221 @@
+#include "fuzz/fuzzer.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/test_hooks.h"
+#include "core/kiwi_map.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace kiwi::fuzz {
+
+using core::KiWiConfig;
+using core::KiWiMap;
+
+namespace {
+
+/// Globally unique written value: never 0, never the tombstone, and
+/// disjoint from the preload value space (plain key numbers).
+Value OpValue(std::uint32_t thread, std::uint32_t counter) {
+  return (static_cast<Value>(thread + 1) << 32) | counter;
+}
+
+void Worker(KiWiMap& map, Recorder& recorder, const RoundParams& params,
+            std::uint32_t thread) {
+  Xoshiro256 rng(params.seed ^ (0xa076'1d64'78bd'642fULL * (thread + 1)));
+  std::vector<KiWiMap::Entry> scan_buf;
+  const std::uint64_t kPutCut = params.put_pct;
+  const std::uint64_t kRemoveCut = kPutCut + params.remove_pct;
+  const std::uint64_t kGetCut = kRemoveCut + params.get_pct;
+  for (std::uint32_t i = 0; i < params.ops_per_thread; ++i) {
+    const std::uint64_t roll = rng.NextBounded(100);
+    const Key key = 1 + static_cast<Key>(rng.NextBounded(params.keys));
+    FuzzOp op;
+    op.thread = thread;
+    op.key = key;
+    if (roll < kPutCut) {
+      op.kind = FuzzOp::Kind::kPut;
+      op.value = OpValue(thread, i);
+      op.invoke = recorder.Clock().Tick();
+      map.Put(key, op.value);
+      op.response = recorder.Clock().Tick();
+    } else if (roll < kRemoveCut) {
+      op.kind = FuzzOp::Kind::kRemove;
+      op.invoke = recorder.Clock().Tick();
+      map.Remove(key);
+      op.response = recorder.Clock().Tick();
+    } else if (roll < kGetCut) {
+      op.kind = FuzzOp::Kind::kGet;
+      op.invoke = recorder.Clock().Tick();
+      const std::optional<Value> got = map.Get(key);
+      op.response = recorder.Clock().Tick();
+      op.found = got.has_value();
+      op.value = got.value_or(0);
+    } else {
+      op.kind = FuzzOp::Kind::kScan;
+      const std::uint64_t span = 1 + rng.NextBounded(params.max_scan_span);
+      op.to_key = std::min<Key>(key + static_cast<Key>(span) - 1,
+                                static_cast<Key>(params.keys));
+      op.invoke = recorder.Clock().Tick();
+      map.Scan(op.key, op.to_key, scan_buf);
+      op.response = recorder.Clock().Tick();
+      op.scan_result.assign(scan_buf.begin(), scan_buf.end());
+    }
+    recorder.Record(thread, std::move(op));
+  }
+}
+
+}  // namespace
+
+RoundResult RunRound(const RoundParams& params) {
+  Schedule schedule =
+      Schedule::FromSeed(params.seed).WithActiveMask(params.site_mask);
+  for (const RoundParams::SiteOverride& f : params.forced_sites) {
+    if (f.site < TestHooks::kSiteCount) schedule.sites[f.site] = f.config;
+  }
+  RoundResult result;
+  result.schedule = schedule.Describe();
+
+  std::vector<KiWiMap::Entry> preload;
+  for (std::uint32_t k = 1; k <= params.preload && k <= params.keys; ++k) {
+    preload.emplace_back(static_cast<Key>(k), static_cast<Value>(k));
+  }
+
+  KiWiConfig config;
+  config.chunk_capacity = params.chunk_capacity;
+  config.max_engaged_chunks = params.max_engaged_chunks;
+  KiWiMap map(std::span<const KiWiMap::Entry>(preload), config);
+
+  Recorder recorder(params.threads);
+  recorder.Reserve(params.ops_per_thread);
+  {
+    TestHooks::ScopedMutants mutants(params.mutants);
+    PerturbationEngine engine(schedule);
+    std::vector<std::thread> workers;
+    workers.reserve(params.threads);
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      workers.emplace_back(Worker, std::ref(map), std::ref(recorder),
+                           std::cref(params), t);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  map.CheckInvariants();
+
+  result.history = std::move(recorder).Merge();
+  result.history.initial.assign(preload.begin(), preload.end());
+  const CheckResult check = CheckHistory(result.history);
+  result.ok = check.ok;
+  result.message = check.message;
+  if (!result.ok) result.debug_report = map.DebugReport().ToText();
+  return result;
+}
+
+namespace {
+
+/// True if `params` fails at least once within `retries` attempts.
+bool Refails(const RoundParams& params, std::uint32_t retries,
+             std::uint32_t& rounds_spent, std::uint32_t max_rounds) {
+  for (std::uint32_t i = 0; i < retries; ++i) {
+    if (rounds_spent >= max_rounds) return false;
+    ++rounds_spent;
+    if (!RunRound(params).ok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MinimizeResult Minimize(const RoundParams& failing, std::uint32_t retries,
+                        std::uint32_t max_rounds) {
+  MinimizeResult out;
+  out.params = failing;
+  out.site_mask =
+      Schedule::FromSeed(failing.seed).ActiveMask() & failing.site_mask;
+  out.params.site_mask = out.site_mask;
+
+  if (!Refails(out.params, retries, out.rounds_spent, max_rounds)) {
+    return out;  // reproduced == false
+  }
+  out.reproduced = true;
+
+  // Greedily drop one active site at a time; keep a drop when the failure
+  // still fires without it.
+  for (std::size_t i = 0; i < TestHooks::kSiteCount; ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    if ((out.site_mask & bit) == 0) continue;
+    RoundParams candidate = out.params;
+    candidate.site_mask = out.site_mask & ~bit;
+    if (Refails(candidate, retries, out.rounds_spent, max_rounds)) {
+      out.site_mask = candidate.site_mask;
+      out.params.site_mask = out.site_mask;
+    }
+  }
+
+  // Then shrink the op window while the failure still reproduces.
+  while (out.params.ops_per_thread > 8) {
+    RoundParams candidate = out.params;
+    candidate.ops_per_thread = out.params.ops_per_thread / 2;
+    if (!Refails(candidate, retries, out.rounds_spent, max_rounds)) break;
+    out.params = candidate;
+  }
+  return out;
+}
+
+std::optional<std::string> DumpFailureArtifacts(const RoundParams& params,
+                                                const RoundResult& result,
+                                                std::string dir) {
+  if (dir.empty()) {
+    if (const char* env = std::getenv("KIWI_FUZZ_ARTIFACT_DIR")) dir = env;
+  }
+  if (dir.empty()) dir = "/tmp/kiwi_fuzz_artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return std::nullopt;
+
+  std::ostringstream name;
+  name << "kiwi_fuzz_seed_0x" << std::hex << params.seed;
+  const std::string base = dir + "/" + name.str();
+
+  std::ofstream out(base + ".txt");
+  if (!out) return std::nullopt;
+  out << "# kiwi_fuzz failure artifact\n"
+      << "# repro: KIWI_FUZZ_SEED=" << params.seed << " kiwi_fuzz --seed="
+      << params.seed << " --threads=" << params.threads << " --ops="
+      << params.ops_per_thread << " --keys=" << params.keys
+      << " --chunk-capacity=" << params.chunk_capacity
+      << " --mix=" << params.put_pct << ":" << params.remove_pct << ":"
+      << params.get_pct << " --max-engaged=" << params.max_engaged_chunks;
+  if (params.site_mask != ~std::uint64_t{0}) {
+    out << " --site-mask=0x" << std::hex << params.site_mask << std::dec;
+  }
+  if (params.mutants != 0) {
+    out << " --mutant-mask=0x" << std::hex << params.mutants << std::dec;
+  }
+  for (const RoundParams::SiteOverride& f : params.forced_sites) {
+    out << " --force-site=" << f.site << ":" << ActionName(f.config.action)
+        << ":" << static_cast<unsigned>(f.config.probability_pct) << ":"
+        << f.config.intensity;
+  }
+  out << "\n\n"
+      << "violation: " << result.message << "\n"
+      << "schedule:  " << result.schedule << "\n\n"
+      << "== history ==\n"
+      << result.history.Dump() << "\n"
+      << "== debug report ==\n"
+      << result.debug_report << "\n";
+  out.close();
+
+  // Perfetto-compatible trace when tracing is compiled in; best-effort.
+#if KIWI_TRACE_ENABLED
+  obs::trace::DumpTraceToFile((base + ".trace.json").c_str());
+#endif
+  return base + ".txt";
+}
+
+}  // namespace kiwi::fuzz

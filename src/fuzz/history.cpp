@@ -1,0 +1,57 @@
+#include "fuzz/history.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kiwi::fuzz {
+
+std::string History::Dump() const {
+  std::vector<const FuzzOp*> by_invoke;
+  by_invoke.reserve(ops.size());
+  for (const FuzzOp& op : ops) by_invoke.push_back(&op);
+  std::sort(by_invoke.begin(), by_invoke.end(),
+            [](const FuzzOp* a, const FuzzOp* b) {
+              return a->invoke < b->invoke;
+            });
+
+  std::ostringstream os;
+  os << "# history: " << ops.size() << " ops, " << initial.size()
+     << " preloaded keys\n";
+  if (!initial.empty()) {
+    os << "# preload:";
+    for (const auto& [k, v] : initial) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  for (const FuzzOp* op : by_invoke) {
+    os << "[" << op->invoke << "," << op->response << "] t" << op->thread
+       << " ";
+    switch (op->kind) {
+      case FuzzOp::Kind::kPut:
+        os << "put " << op->key << "=" << op->value;
+        break;
+      case FuzzOp::Kind::kGet:
+        os << "get " << op->key << " -> ";
+        if (op->found) {
+          os << op->value;
+        } else {
+          os << "miss";
+        }
+        break;
+      case FuzzOp::Kind::kRemove:
+        os << "remove " << op->key << " -> "
+           << (op->found ? "hit" : "miss");
+        break;
+      case FuzzOp::Kind::kScan:
+        os << "scan [" << op->key << "," << op->to_key << "] ->";
+        for (const auto& [k, v] : op->scan_result) {
+          os << " " << k << "=" << v;
+        }
+        if (op->scan_result.empty()) os << " (empty)";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kiwi::fuzz

@@ -1,0 +1,82 @@
+// Recorded multi-key operation histories for the linearizability fuzzer.
+//
+// Worker threads record one FuzzOp per completed map operation, stamped with
+// invoke/response ticks from a shared monotone clock (taken immediately
+// before calling into the map and immediately after it returns).  Scans
+// additionally record their full observed result set.  The checker
+// (fuzz/checker.h) consumes the merged history; Dump() renders it for
+// failure artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "harness/linearizability.h"
+
+namespace kiwi::fuzz {
+
+struct FuzzOp {
+  enum class Kind : std::uint8_t { kPut, kGet, kRemove, kScan };
+
+  Kind kind = Kind::kGet;
+  std::uint32_t thread = 0;
+  Key key = 0;       // put/get/remove key, or scan's from_key
+  Key to_key = 0;    // scan only: inclusive upper bound
+  Value value = 0;   // put: written value; get: returned value when found
+  bool found = false;  // get: present?  remove: removed an existing key?
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+  /// Scan only: observed (key, value) pairs, in the order returned.
+  std::vector<std::pair<Key, Value>> scan_result;
+};
+
+struct History {
+  std::vector<FuzzOp> ops;
+  /// Keys present before the recorded window, with their values (the
+  /// preload).  The checker treats these as the initial register states.
+  std::vector<std::pair<Key, Value>> initial;
+
+  /// Human-readable rendering for failure artifacts: one line per op,
+  /// sorted by invoke tick.
+  std::string Dump() const;
+};
+
+/// Per-thread recording with no cross-thread synchronization beyond the
+/// shared tick clock; Merge() is called after all workers join.
+class Recorder {
+ public:
+  explicit Recorder(std::size_t threads) : per_thread_(threads) {}
+
+  harness::HistoryClock& Clock() { return clock_; }
+
+  void Record(std::uint32_t thread, FuzzOp op) {
+    per_thread_[thread].push_back(std::move(op));
+  }
+
+  /// Reserve per-thread capacity up front so recording never reallocates
+  /// mid-run (reallocation would perturb timing).
+  void Reserve(std::size_t ops_per_thread) {
+    for (auto& v : per_thread_) v.reserve(ops_per_thread);
+  }
+
+  History Merge() && {
+    History h;
+    std::size_t total = 0;
+    for (const auto& v : per_thread_) total += v.size();
+    h.ops.reserve(total);
+    for (auto& v : per_thread_) {
+      for (auto& op : v) h.ops.push_back(std::move(op));
+      v.clear();
+    }
+    return h;
+  }
+
+ private:
+  harness::HistoryClock clock_;
+  std::vector<std::vector<FuzzOp>> per_thread_;
+};
+
+}  // namespace kiwi::fuzz

@@ -1,0 +1,49 @@
+// Directed fuzz scenarios: deterministic interleavings the random schedule
+// fuzzer cannot reach at a useful rate.
+//
+// The schedule fuzzer explores interleavings statistically; some bug
+// classes need a coincidence of three or more independent stalls and a
+// hand-built chunk layout, putting their natural hit rate below one in
+// tens of thousands of rounds (measured: the reverted last_engaged
+// consensus needs a cap-sealed multi-chunk engage run with a straggling
+// helper — ~1 hit in 30k seeded rounds).  A scenario pins that exact
+// interleaving through the SAME TestHooks sites the fuzzer perturbs, but
+// gates threads on explicit handshakes instead of sleeps, so it detects
+// the corresponding mutant deterministically in milliseconds.
+//
+// Scenarios honour the currently-installed TestHooks::mutants mask: run one
+// on the clean tree and it must pass; run it with the matching mutant
+// enabled and it must fail (that asymmetry is the harness teeth proof —
+// see docs/TESTING.md and tests/fuzz_harness_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kiwi::fuzz {
+
+struct ScenarioResult {
+  bool ok = true;
+  /// Violation description when !ok; setup/skip notes otherwise.
+  std::string message;
+};
+
+/// Names accepted by RunScenario, for --list-scenarios.
+std::vector<const char*> ScenarioNames();
+
+/// Run one named scenario under the current mutant mask.  Unknown names
+/// return ok=false with an "unknown scenario" message (a usage error, not
+/// a detection — the driver checks the name against ScenarioNames() first).
+ScenarioResult RunScenario(const std::string& name);
+
+/// The engage-straggler interleaving (DESIGN.md deviation 9): helper B
+/// stalls in the engage loop holding a stale ro->next while helper A
+/// cap-seals the run and computes its last-engaged view; B's engagement
+/// CAS then lands late, so A and B disagree on where the engaged sector
+/// ends.  With the last_engaged consensus intact the late chunk survives
+/// as a recoverable orphan; with the kLastEngagedRace mutant the splice
+/// winner retires a chunk whose data the consensus replacement never
+/// included — a key vanishes.
+ScenarioResult RunEngageStragglerScenario();
+
+}  // namespace kiwi::fuzz

@@ -10,11 +10,11 @@ namespace kiwi::harness {
 namespace {
 
 /// Register state is fully determined by the last applied write/remove (or
-/// the initial state); reads do not change it.  The search therefore
-/// memoizes (applied-set, index-of-last-mutator) pairs.
+/// the window's entry state); reads do not change it.  The search therefore
+/// memoizes (applied-set, index-of-last-mutator) pairs per entry state.
 struct SearchState {
   std::uint64_t applied_mask;
-  int last_mutator;  // -1 = initial state
+  int last_mutator;  // -1 = window entry state
 
   bool operator==(const SearchState&) const = default;
 };
@@ -27,47 +27,51 @@ struct SearchStateHash {
   }
 };
 
-class Checker {
+/// Exhaustive search over one window of mutually overlapping ops: collects
+/// every register state some valid linearization of the window can end in,
+/// starting from one entry state.  Pruning on revisited (mask, last_mutator)
+/// states is sound for *enumeration* too: the set of reachable final states
+/// from a search state is a pure function of that state, so a second visit
+/// can only rediscover finals already collected on the first.
+class WindowChecker {
  public:
-  Checker(const std::vector<LinOp>& history, bool initially_present,
-          Value initial_value)
-      : history_(history),
-        initially_present_(initially_present),
-        initial_value_(initial_value) {}
+  WindowChecker(const LinOp* ops, std::size_t count, RegisterState entry)
+      : ops_(ops), count_(count), entry_(entry) {}
 
-  bool Run() {
-    return Search(SearchState{0, -1});
+  void CollectFinals(std::vector<RegisterState>& out) {
+    finals_ = &out;
+    Search(SearchState{0, -1});
   }
 
  private:
-  bool RegisterPresent(int last_mutator) const {
-    if (last_mutator < 0) return initially_present_;
-    return history_[last_mutator].kind == LinOp::Kind::kWrite;
+  RegisterState StateAfter(int last_mutator) const {
+    if (last_mutator < 0) return entry_;
+    const LinOp& m = ops_[last_mutator];
+    return RegisterState{m.kind == LinOp::Kind::kWrite, m.value};
   }
 
-  Value RegisterValue(int last_mutator) const {
-    if (last_mutator < 0) return initial_value_;
-    return history_[last_mutator].value;
-  }
-
-  bool Search(SearchState state) {
-    const std::size_t n = history_.size();
-    if (state.applied_mask == (std::uint64_t{1} << n) - 1) return true;
-    if (visited_.contains(state)) return false;
-    visited_.insert(state);
-
-    // An op may be linearized next iff every other *pending* op's response
-    // is not strictly before its invoke (i.e. nothing pending must come
-    // first in real time).
-    std::uint64_t min_pending_response = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < n; ++i) {
-      if ((state.applied_mask >> i) & 1) continue;
-      min_pending_response =
-          std::min(min_pending_response, history_[i].response);
+  void Search(SearchState state) {
+    if (state.applied_mask == (std::uint64_t{1} << count_) - 1) {
+      const RegisterState final = StateAfter(state.last_mutator);
+      if (std::find(finals_->begin(), finals_->end(), final) ==
+          finals_->end()) {
+        finals_->push_back(final);
+      }
+      return;
     }
-    for (std::size_t i = 0; i < n; ++i) {
+    if (!visited_.insert(state).second) return;
+
+    // An op may be linearized next iff no other *pending* op must precede
+    // it in real time (i.e. no pending response is strictly before its
+    // invoke).
+    std::uint64_t min_pending_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < count_; ++i) {
       if ((state.applied_mask >> i) & 1) continue;
-      const LinOp& op = history_[i];
+      min_pending_response = std::min(min_pending_response, ops_[i].response);
+    }
+    for (std::size_t i = 0; i < count_; ++i) {
+      if ((state.applied_mask >> i) & 1) continue;
+      const LinOp& op = ops_[i];
       if (op.invoke > min_pending_response) continue;  // someone must precede
       SearchState next = state;
       next.applied_mask |= (std::uint64_t{1} << i);
@@ -77,35 +81,83 @@ class Checker {
           next.last_mutator = static_cast<int>(i);
           break;
         case LinOp::Kind::kRead: {
-          const bool present = RegisterPresent(state.last_mutator);
-          if (op.found != present) continue;
-          if (present && op.value != RegisterValue(state.last_mutator)) {
-            continue;
-          }
+          const RegisterState reg = StateAfter(state.last_mutator);
+          if (op.found != reg.present) continue;
+          if (reg.present && op.value != reg.value) continue;
           break;
         }
       }
-      if (Search(next)) return true;
+      Search(next);
     }
-    return false;
   }
 
-  const std::vector<LinOp>& history_;
-  const bool initially_present_;
-  const Value initial_value_;
+  const LinOp* ops_;
+  const std::size_t count_;
+  const RegisterState entry_;
+  std::vector<RegisterState>* finals_ = nullptr;
   std::unordered_set<SearchState, SearchStateHash> visited_;
 };
 
 }  // namespace
 
-bool IsLinearizableRegisterHistory(const std::vector<LinOp>& history,
-                                   bool initially_present,
-                                   Value initial_value) {
-  KIWI_ASSERT(history.size() <= 63, "history too large for bitmask search");
+std::vector<RegisterState> FeasibleFinalStates(
+    const std::vector<LinOp>& history,
+    const std::vector<RegisterState>& initial_states) {
   for (const LinOp& op : history) {
     KIWI_ASSERT(op.invoke < op.response, "malformed operation interval");
   }
-  return Checker(history, initially_present, initial_value).Run();
+
+  // Sort by invoke so that windows of mutually overlapping ops are
+  // contiguous; a barrier falls before op i whenever every earlier op's
+  // response precedes op i's invoke, which forces every earlier op before
+  // op i (and, since invokes are non-decreasing, before all later ops) in
+  // any valid linearization.  The whole-history search thus decomposes
+  // exactly into per-window searches chained through their feasible exit
+  // states.
+  std::vector<LinOp> sorted = history;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LinOp& a, const LinOp& b) { return a.invoke < b.invoke; });
+
+  std::vector<RegisterState> states;
+  for (const RegisterState& s : initial_states) {
+    if (std::find(states.begin(), states.end(), s) == states.end()) {
+      states.push_back(s);
+    }
+  }
+
+  std::size_t window_start = 0;
+  while (window_start < sorted.size()) {
+    std::uint64_t max_response = sorted[window_start].response;
+    std::size_t window_end = window_start + 1;  // exclusive
+    while (window_end < sorted.size() &&
+           sorted[window_end].invoke <= max_response) {
+      max_response = std::max(max_response, sorted[window_end].response);
+      ++window_end;
+    }
+    const std::size_t window_size = window_end - window_start;
+    KIWI_ASSERT(window_size <= kMaxOverlappingOps,
+                "linearizability window exceeds kMaxOverlappingOps (63) "
+                "mutually overlapping operations; reduce per-burst "
+                "concurrency in the recorder");
+
+    std::vector<RegisterState> next_states;
+    for (const RegisterState& entry : states) {
+      WindowChecker(&sorted[window_start], window_size, entry)
+          .CollectFinals(next_states);
+    }
+    states = std::move(next_states);
+    if (states.empty()) return states;  // no valid linearization
+    window_start = window_end;
+  }
+  return states;
+}
+
+bool IsLinearizableRegisterHistory(const std::vector<LinOp>& history,
+                                   bool initially_present,
+                                   Value initial_value) {
+  const std::vector<RegisterState> initial{
+      RegisterState{initially_present, initial_value}};
+  return !FeasibleFinalStates(history, initial).empty();
 }
 
 }  // namespace kiwi::harness

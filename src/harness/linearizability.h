@@ -6,8 +6,24 @@
 // on ONE key of a map, stamping each operation with invoke/response ticks
 // from a shared atomic clock; the checker then proves or refutes that some
 // total order consistent with the real-time intervals explains every
-// result.  The search is exponential in the number of *overlapping*
-// operations, so recorded windows are kept small (tens of ops).
+// result.  The multi-key fuzz checker (src/fuzz/checker.h) decomposes
+// put/get/remove/scan histories into per-key register histories and feeds
+// them here (linearizability is local, so per-key decomposition is exact
+// for single-key operations).
+//
+// Complexity and the overlapping-ops cap
+// --------------------------------------
+// The search cost is exponential in the number of *overlapping* operations,
+// not in the history length.  The checker splits the history at real-time
+// barriers — points where every earlier op's response precedes every later
+// op's invoke — and searches each overlapping window independently,
+// threading the set of feasible register states across windows.  A window
+// of w ops costs O(2^w · w^2) time and O(2^w · w) memoized states in the
+// worst case; in practice memoization keeps fuzz-sized windows (tens of
+// ops) well below that.  Total history length is unbounded; any single
+// window larger than kMaxOverlappingOps (63, the bitmask width) trips a
+// KIWI_ASSERT with an explicit message instead of silently truncating —
+// recorders should bound per-burst concurrency, not total history size.
 //
 // This complements the invariant-based concurrency tests: those catch
 // classes of violations cheaply at scale, the checker verifies full
@@ -37,16 +53,37 @@ struct LinOp {
   std::uint64_t response = 0;
 };
 
+/// Maximum number of mutually overlapping operations one history window may
+/// contain (the bitmask search width).  Exceeding it aborts with a clear
+/// KIWI_ASSERT; it never silently truncates.
+inline constexpr std::size_t kMaxOverlappingOps = 63;
+
+/// A register state: one feasible (present, value) pair.
+struct RegisterState {
+  bool present = false;
+  Value value = 0;
+  friend bool operator==(const RegisterState&, const RegisterState&) = default;
+};
+
 /// True iff `history` has a linearization: a permutation that (a) respects
 /// real-time order (op X before op Y whenever X.response < Y.invoke) and
 /// (b) satisfies register semantics (a read returns the value of the latest
 /// preceding write, or absent if none / a remove intervened).
 ///
 /// `initially_present`/`initial_value`: register state before the history.
-/// History size is capped at 63 ops (bitmask search).
+/// History length is unbounded; any window of mutually overlapping ops is
+/// capped at kMaxOverlappingOps (see the header comment).
 bool IsLinearizableRegisterHistory(const std::vector<LinOp>& history,
                                    bool initially_present = false,
                                    Value initial_value = 0);
+
+/// The full check: every register state the history could leave behind
+/// under some valid linearization (empty iff the history is not
+/// linearizable).  Exposed for chained/windowed checking (the fuzz checker
+/// threads these states through multi-burst histories).
+std::vector<RegisterState> FeasibleFinalStates(
+    const std::vector<LinOp>& history,
+    const std::vector<RegisterState>& initial_states);
 
 /// Convenience for building histories in tests: a shared monotone clock.
 class HistoryClock {

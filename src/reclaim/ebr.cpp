@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "common/backoff.h"
+#include "common/test_hooks.h"
 #include "common/thread_registry.h"
 #include "obs/trace.h"
 
@@ -46,6 +47,10 @@ void Ebr::Exit(std::size_t slot) {
 }
 
 void Ebr::Retire(void* object, Deleter deleter) {
+  // The object is already unreachable for new operations but guards may
+  // still traverse it; a stall here stretches the window between logical
+  // and physical retirement (grace-period + slab-recycling stress).
+  TestHooks::Run(TestHooks::ebr_before_retire);
   const std::size_t slot = ThreadRegistry::CurrentSlot();
   RetireBuffer& buffer = buffers_[slot];
   const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);

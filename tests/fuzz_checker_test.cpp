@@ -1,0 +1,234 @@
+// Tests for the fuzz history checker itself: synthetic histories with known
+// verdicts, including multi-key scan-snapshot violations the per-key layer
+// alone cannot see, and the windowed register search that replaced the old
+// hard 63-op history cap.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/checker.h"
+#include "fuzz/history.h"
+#include "harness/linearizability.h"
+
+namespace kiwi::fuzz {
+namespace {
+
+using harness::FeasibleFinalStates;
+using harness::IsLinearizableRegisterHistory;
+using harness::LinOp;
+using harness::RegisterState;
+
+FuzzOp Put(Key key, Value value, std::uint64_t invoke, std::uint64_t resp) {
+  FuzzOp op;
+  op.kind = FuzzOp::Kind::kPut;
+  op.key = key;
+  op.value = value;
+  op.invoke = invoke;
+  op.response = resp;
+  return op;
+}
+
+FuzzOp Remove(Key key, std::uint64_t invoke, std::uint64_t resp) {
+  FuzzOp op;
+  op.kind = FuzzOp::Kind::kRemove;
+  op.key = key;
+  op.invoke = invoke;
+  op.response = resp;
+  return op;
+}
+
+FuzzOp GetHit(Key key, Value value, std::uint64_t invoke,
+              std::uint64_t resp) {
+  FuzzOp op;
+  op.kind = FuzzOp::Kind::kGet;
+  op.key = key;
+  op.value = value;
+  op.found = true;
+  op.invoke = invoke;
+  op.response = resp;
+  return op;
+}
+
+FuzzOp GetMiss(Key key, std::uint64_t invoke, std::uint64_t resp) {
+  FuzzOp op;
+  op.kind = FuzzOp::Kind::kGet;
+  op.key = key;
+  op.invoke = invoke;
+  op.response = resp;
+  return op;
+}
+
+FuzzOp Scan(Key from, Key to, std::uint64_t invoke, std::uint64_t resp,
+            std::vector<std::pair<Key, Value>> result) {
+  FuzzOp op;
+  op.kind = FuzzOp::Kind::kScan;
+  op.key = from;
+  op.to_key = to;
+  op.invoke = invoke;
+  op.response = resp;
+  op.scan_result = std::move(result);
+  return op;
+}
+
+TEST(FuzzChecker, SequentialSingleKeyPasses) {
+  History h;
+  h.ops = {Put(1, 100, 1, 2), GetHit(1, 100, 3, 4), Remove(1, 5, 6),
+           GetMiss(1, 7, 8)};
+  EXPECT_TRUE(CheckHistory(h).ok);
+}
+
+TEST(FuzzChecker, StaleGetFails) {
+  History h;
+  h.ops = {Put(1, 100, 1, 2), Put(1, 200, 3, 4), GetHit(1, 100, 5, 6)};
+  const CheckResult r = CheckHistory(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("key 1"), std::string::npos) << r.message;
+}
+
+TEST(FuzzChecker, ConcurrentOpsUseIntervalFreedom) {
+  // The get overlaps both puts, so either value is linearizable.
+  History h;
+  h.ops = {Put(1, 100, 1, 10), Put(1, 200, 2, 11), GetHit(1, 100, 3, 9)};
+  EXPECT_TRUE(CheckHistory(h).ok);
+  h.ops.back() = GetHit(1, 200, 3, 9);
+  EXPECT_TRUE(CheckHistory(h).ok);
+}
+
+TEST(FuzzChecker, IndependentKeysPass) {
+  History h;
+  h.initial = {{1, 11}, {2, 22}};
+  h.ops = {Put(1, 100, 1, 2), GetHit(2, 22, 1, 2), GetHit(1, 100, 3, 4),
+           Remove(2, 3, 4), GetMiss(2, 5, 6)};
+  EXPECT_TRUE(CheckHistory(h).ok);
+}
+
+TEST(FuzzChecker, PreloadVisibleToReads) {
+  History h;
+  h.initial = {{7, 77}};
+  h.ops = {GetHit(7, 77, 1, 2)};
+  EXPECT_TRUE(CheckHistory(h).ok);
+  h.ops = {GetMiss(7, 1, 2)};
+  EXPECT_FALSE(CheckHistory(h).ok);
+}
+
+TEST(FuzzChecker, ConsistentScanPasses) {
+  History h;
+  h.initial = {{1, 11}, {2, 22}};
+  h.ops = {Put(1, 100, 10, 11),
+           Scan(1, 3, 20, 21, {{1, 100}, {2, 22}})};
+  EXPECT_TRUE(CheckHistory(h).ok);
+}
+
+// The torn-cut case the scan layer exists for: each per-key observation is
+// individually explainable, but no single tick explains both.  The scan
+// sees key 1 from before put(1,100) [10,11] and key 2 from after
+// put(2,200) [20,21] — the cut must be both <= 11 and >= 20.
+TEST(FuzzChecker, TornScanCutFails) {
+  History h;
+  h.initial = {{1, 11}, {2, 22}};
+  h.ops = {Put(1, 100, 10, 11), Put(2, 200, 20, 21),
+           Scan(1, 2, 5, 30, {{1, 11}, {2, 200}})};
+  const CheckResult r = CheckHistory(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("torn scan"), std::string::npos) << r.message;
+}
+
+// Same shape but the scan observes a consistent cut (both old or both new).
+TEST(FuzzChecker, UntornScanCutPasses) {
+  History h;
+  h.initial = {{1, 11}, {2, 22}};
+  h.ops = {Put(1, 100, 10, 11), Put(2, 200, 20, 21),
+           Scan(1, 2, 5, 30, {{1, 11}, {2, 22}})};
+  EXPECT_TRUE(CheckHistory(h).ok);
+  h.ops.back() = Scan(1, 2, 5, 30, {{1, 100}, {2, 200}});
+  EXPECT_TRUE(CheckHistory(h).ok);
+}
+
+// A scan missing a key that was surely present across its whole window.
+TEST(FuzzChecker, ScanMissingPresentKeyFails) {
+  History h;
+  h.initial = {{3, 33}};
+  // The only remove starts at 40; a scan over [10,20] must see key 3.
+  h.ops = {Remove(3, 40, 50), Scan(3, 3, 10, 20, {})};
+  EXPECT_FALSE(CheckHistory(h).ok);
+  // After the remove it may legitimately be absent.
+  h.ops = {Remove(3, 40, 50), Scan(3, 3, 60, 70, {})};
+  EXPECT_TRUE(CheckHistory(h).ok);
+}
+
+TEST(FuzzChecker, ScanStructuralViolations) {
+  History h;
+  h.initial = {{1, 11}, {2, 22}};
+  h.ops = {Scan(1, 2, 1, 2, {{5, 55}})};  // out of range
+  EXPECT_FALSE(CheckHistory(h).ok);
+  h.ops = {Scan(1, 2, 1, 2, {{2, 22}, {1, 11}})};  // descending
+  EXPECT_FALSE(CheckHistory(h).ok);
+  h.ops = {Scan(1, 2, 1, 2, {{1, 11}, {1, 11}})};  // duplicate
+  EXPECT_FALSE(CheckHistory(h).ok);
+}
+
+// ---- windowed register search ------------------------------------------
+
+// Long sequential histories exceed the old 63-op cap but contain no
+// overlapping window, so they must pass (and fail when made inconsistent).
+TEST(FuzzChecker, LongSequentialHistoryIsChecked) {
+  std::vector<LinOp> ops;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const std::uint64_t t = 1 + i * 2;
+    ops.push_back({LinOp::Kind::kWrite, static_cast<Value>(i), false, t,
+                   t + 1});
+  }
+  EXPECT_TRUE(IsLinearizableRegisterHistory(ops));
+  // A read of a long-overwritten value must fail even deep in the history.
+  ops.push_back({LinOp::Kind::kRead, 5, true, 1000, 1001});
+  EXPECT_FALSE(IsLinearizableRegisterHistory(ops));
+  ops.back() = {LinOp::Kind::kRead, 299, true, 1000, 1001};
+  EXPECT_TRUE(IsLinearizableRegisterHistory(ops));
+}
+
+// Feasible final states must thread across windows: after two concurrent
+// writes, either order is feasible — but two later sequential reads cannot
+// observe both orders.
+TEST(FuzzChecker, FinalStatesThreadAcrossWindows) {
+  std::vector<LinOp> ops = {
+      {LinOp::Kind::kWrite, 1, false, 1, 10},
+      {LinOp::Kind::kWrite, 2, false, 2, 11},
+      {LinOp::Kind::kRead, 1, true, 20, 21},
+  };
+  EXPECT_TRUE(IsLinearizableRegisterHistory(ops));
+  // The first read pinned the write order; a second read of the other value
+  // has no explanation.
+  ops.push_back({LinOp::Kind::kRead, 2, true, 22, 23});
+  EXPECT_FALSE(IsLinearizableRegisterHistory(ops));
+  // Re-reading the same value is fine.
+  ops.back() = {LinOp::Kind::kRead, 1, true, 22, 23};
+  EXPECT_TRUE(IsLinearizableRegisterHistory(ops));
+}
+
+TEST(FuzzChecker, FeasibleFinalStatesEnumeration) {
+  const std::vector<LinOp> ops = {
+      {LinOp::Kind::kWrite, 1, false, 1, 10},
+      {LinOp::Kind::kWrite, 2, false, 2, 11},
+  };
+  const auto finals =
+      FeasibleFinalStates(ops, {RegisterState{false, 0}});
+  ASSERT_EQ(finals.size(), 2u);
+  EXPECT_TRUE(finals[0].present);
+  EXPECT_TRUE(finals[1].present);
+  EXPECT_NE(finals[0].value, finals[1].value);
+}
+
+// A single window larger than kMaxOverlappingOps must abort loudly, never
+// silently truncate the search.
+TEST(FuzzCheckerDeathTest, OversizedOverlapWindowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<LinOp> ops;
+  for (std::uint64_t i = 0; i < harness::kMaxOverlappingOps + 1; ++i) {
+    // All intervals share tick 100, so they form one overlapping window.
+    ops.push_back({LinOp::Kind::kWrite, static_cast<Value>(i), false, i + 1,
+                   200 + i});
+  }
+  EXPECT_DEATH(IsLinearizableRegisterHistory(ops), "kMaxOverlappingOps");
+}
+
+}  // namespace
+}  // namespace kiwi::fuzz

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/test_env.h"
 #include "common/test_hooks.h"
 #include "core/kiwi_map.h"
 
@@ -35,7 +36,8 @@ TEST(RaceInjection, ScansHelpStalledPuts) {
     }
   });
   std::vector<KiWiMap::Entry> out;
-  for (int i = 0; i < 400 || rounds.load(std::memory_order_acquire) < 3;
+  const int iters = ScaledIters(400);
+  for (int i = 0; i < iters || rounds.load(std::memory_order_acquire) < 3;
        ++i) {
     map.Scan(0, kKeys - 1, out);
     ASSERT_EQ(out.size(), static_cast<std::size_t>(kKeys));
@@ -64,7 +66,8 @@ TEST(RaceInjection, GetsHelpStalledPuts) {
   std::atomic<bool> stop{false};
   std::atomic<Value> published{-1};
   std::thread writer([&] {
-    for (Value v = 0; v < 20000; ++v) {
+    const Value iters = ScaledIters(20000);
+    for (Value v = 0; v < iters; ++v) {
       map.Put(5, v);
       published.store(v, std::memory_order_seq_cst);
     }
@@ -92,18 +95,21 @@ TEST(RaceInjection, FrozenChunksServeReadsAndRestartPuts) {
   config.chunk_capacity = 16;  // constant rebalancing
   KiWiMap map(config);
   constexpr int kThreads = 4;
+  // One scaled count drives both the per-thread key range and the final
+  // size check, so KIWI_TEST_ITERS cannot desynchronize them.
+  const int per_thread = ScaledIters(4000);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      for (Key k = 0; k < 4000; ++k) {
-        const Key key = t * 4000 + k;
+      for (Key k = 0; k < per_thread; ++k) {
+        const Key key = t * static_cast<Key>(per_thread) + k;
         map.Put(key, key);
         ASSERT_EQ(map.Get(key).value_or(-1), key);
       }
     });
   }
   for (auto& thread : threads) thread.join();
-  EXPECT_EQ(map.Size(), 4u * 4000u);
+  EXPECT_EQ(map.Size(), 4u * static_cast<std::size_t>(per_thread));
 #if KIWI_OBS_ENABLED
   EXPECT_GT(map.Stats().put_restarts, 0u);
 #endif
@@ -126,7 +132,8 @@ TEST(RaceInjection, ReplaceWindowNeverDuplicatesData) {
     }
   });
   std::vector<KiWiMap::Entry> out;
-  for (int i = 0; i < 500; ++i) {
+  const int iters = ScaledIters(500);
+  for (int i = 0; i < iters; ++i) {
     map.Scan(0, 499, out);
     ASSERT_EQ(out.size(), 500u) << "scan lost or duplicated keys";
     Key previous = -1;
@@ -155,7 +162,8 @@ TEST(RaceInjection, AllWindowsWidenedMixedWorkload) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(t * 13 + 1);
       std::vector<KiWiMap::Entry> out;
-      for (int i = 0; i < 8000; ++i) {
+      const int iters = ScaledIters(8000);
+      for (int i = 0; i < iters; ++i) {
         const Key key = static_cast<Key>(rng.NextBounded(800));
         switch (rng.NextBounded(5)) {
           case 0: case 1: map.Put(key, i); break;

@@ -10,6 +10,7 @@
 
 #include "api/map_interface.h"
 #include "common/random.h"
+#include "common/test_env.h"
 #include "core/kiwi_map.h"
 
 namespace kiwi {
@@ -44,7 +45,8 @@ TEST(Soak, ReadersNeverPerturbWriterOutcome) {
       });
     }
     Xoshiro256 rng(77);
-    for (int i = 0; i < 60000; ++i) {
+    const int iters = ScaledIters(60000);
+    for (int i = 0; i < iters; ++i) {
       const Key key = static_cast<Key>(rng.NextBounded(2000));
       if (rng.NextBool(0.3)) {
         map->Remove(key);
@@ -83,7 +85,8 @@ TEST(Soak, OversubscribedAllOps) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(t * 101 + 11);
       std::vector<core::KiWiMap::Entry> out;
-      for (int i = 0; i < 6000; ++i) {
+      const int iters = ScaledIters(6000);
+      for (int i = 0; i < iters; ++i) {
         const Key key = static_cast<Key>(rng.NextBounded(1500));
         switch (rng.NextBounded(8)) {
           case 0: case 1: case 2:
