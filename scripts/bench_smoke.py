@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """CI bench smoke: run the fast benches, emit BENCH_ci.json, gate regressions.
 
-Runs micro_ops (kiwi series only) and fig3_basic at a deliberately small
-scale, collects the kiwi throughput numbers into one JSON artifact, and —
+Runs micro_ops (kiwi series only), fig3_basic, and fig_ingest at a
+deliberately small scale, collects the kiwi numbers into one JSON artifact
+(throughputs plus the fig_ingest batch/put speed-up ratios), and —
 when a checked-in baseline exists — fails if any metric regressed beyond
 the tolerance (default 25%, override with BENCH_SMOKE_TOLERANCE).
 
@@ -79,6 +80,30 @@ def run_fig3(build_dir):
     return metrics
 
 
+def run_fig_ingest(build_dir):
+    """fig_ingest kiwi rows -> Mkeys/s plus the batch/put speed-up ratios.
+
+    The batch_over_put_presorted ratio is the PutBatch acceptance gate: the
+    bulk-build path must stay a multiple (>=2x) of per-op Put, not a
+    percentage (docs/INGEST.md)."""
+    cmd = [
+        os.path.join(build_dir, "bench", "fig_ingest"),
+        "--maps=kiwi",
+        "--threads=1,2",
+    ]
+    env = dict(os.environ, **SMOKE_ENV)
+    result = subprocess.run(cmd, check=True, env=env,
+                            capture_output=True, text=True)
+    sys.stdout.write(result.stdout)
+    metrics = {}
+    for line in result.stdout.splitlines():
+        parts = line.split(",")
+        if len(parts) == 6 and parts[0] == "csv":
+            _, figure, series, x, y, _unit = parts
+            metrics[f"{figure}/{series}@{x}"] = float(y)
+    return metrics
+
+
 def check(metrics, baseline_path, tolerance):
     with open(baseline_path) as f:
         baseline = json.load(f).get("metrics", {})
@@ -114,6 +139,7 @@ def main():
     metrics = {}
     metrics.update(run_micro_ops(args.build))
     metrics.update(run_fig3(args.build))
+    metrics.update(run_fig_ingest(args.build))
 
     artifact = {
         "bench_smoke": 1,

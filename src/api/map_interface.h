@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +40,14 @@ class IOrderedMap {
 
   virtual ~IOrderedMap() = default;
   virtual void Put(Key key, Value value) = 0;
+  /// Insert or overwrite every pair of `entries` — equivalent to Put in
+  /// submission order (duplicate keys: last occurrence wins).  Not atomic
+  /// as a whole; each entry linearizes individually within the call.  The
+  /// default loops over Put; maps with a native batch path (KiWi, see
+  /// docs/INGEST.md) override it through MapAdapter.
+  virtual void PutBatch(std::span<const Entry> entries) {
+    for (const Entry& entry : entries) Put(entry.first, entry.second);
+  }
   virtual void Remove(Key key) = 0;
   virtual std::optional<Value> Get(Key key) = 0;
   virtual std::size_t Scan(Key from_key, Key to_key,
@@ -60,6 +69,13 @@ class MapAdapter final : public IOrderedMap {
         traits_(traits) {}
 
   void Put(Key key, Value value) override { map_.Put(key, value); }
+  void PutBatch(std::span<const Entry> entries) override {
+    if constexpr (requires { map_.PutBatch(entries); }) {
+      map_.PutBatch(entries);
+    } else {
+      IOrderedMap::PutBatch(entries);
+    }
+  }
   void Remove(Key key) override { map_.Remove(key); }
   std::optional<Value> Get(Key key) override { return map_.Get(key); }
   std::size_t Scan(Key from_key, Key to_key,

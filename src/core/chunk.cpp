@@ -101,7 +101,14 @@ std::int32_t Chunk::BatchedPredecessor(Key key) const {
 
 std::int32_t Chunk::FindCell(Key key, Version version, std::int32_t* pred,
                              std::int32_t* succ) const {
-  std::int32_t prev = BatchedPredecessor(key);
+  return FindCellFrom(kNullIdx, key, version, pred, succ);
+}
+
+std::int32_t Chunk::FindCellFrom(std::int32_t start, Key key, Version version,
+                                 std::int32_t* pred, std::int32_t* succ) const {
+  KIWI_DASSERT(start == kNullIdx || k[start].key < key,
+               "FindCellFrom hint must precede the target key");
+  std::int32_t prev = start == kNullIdx ? BatchedPredecessor(key) : start;
   std::int32_t curr = k[prev].next.load(std::memory_order_acquire);
   while (curr != kNullIdx) {
     const Cell& cell = k[curr];

@@ -171,6 +171,14 @@ class alignas(kCacheLineSize) Chunk {
   std::int32_t FindCell(Key key, Version version, std::int32_t* pred,
                         std::int32_t* succ) const;
 
+  /// FindCell starting the walk at cell `start` instead of the batched
+  /// prefix.  `start` must be a linked cell with key strictly below `key`
+  /// (or kNullIdx to fall back to BatchedPredecessor).  PutBatch threads
+  /// the previous insertion's predecessor through here: batch keys ascend,
+  /// so the insertion point only ever moves forward along the list.
+  std::int32_t FindCellFrom(std::int32_t start, Key key, Version version,
+                            std::int32_t* pred, std::int32_t* succ) const;
+
   /// Latest visible version of `key` with version <= `max_version`,
   /// considering both the linked list and versioned PPA entries
   /// (paper's findLatest).  Returns false if no such version exists.

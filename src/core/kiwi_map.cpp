@@ -256,6 +256,201 @@ void KiWiMap::PutImpl(Key key, Value value) {
   }
 }
 
+void KiWiMap::PutBatch(std::span<const Entry> entries) {
+  if (entries.empty()) return;
+  KIWI_OBS_INC(obs_, put_batches);
+  KIWI_OBS_ADD(obs_, batch_entries, entries.size());
+
+  // Normalize the batch: sort by key (stable, so equal keys keep their
+  // submission order), then keep only the last occurrence of each key —
+  // the state the equivalent sequence of Puts would leave behind.
+  std::vector<Entry> sorted(entries.begin(), entries.end());
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < sorted.size(); ++r) {
+    if (r + 1 < sorted.size() && sorted[r + 1].first == sorted[r].first) {
+      continue;  // superseded by a later write to the same key
+    }
+    sorted[w++] = sorted[r];
+  }
+  sorted.resize(w);
+  for (const auto& [key, value] : sorted) {
+    KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
+    KIWI_ASSERT(value != kTombstoneValue, "value reserved for tombstones");
+  }
+  KIWI_TRACE(kBatchStart, entries.size(), sorted.size());
+
+  const std::size_t slot = ThreadRegistry::CurrentSlot();
+  const std::uint32_t bulk_min = policy_.BulkRunThreshold();
+  std::size_t done = 0;
+  while (done < sorted.size()) {
+    reclaim::EbrGuard guard(ebr_);
+    Chunk* chunk = LocateChunk(sorted[done].first);
+    KIWI_ASSERT(chunk->status.load(std::memory_order_acquire) !=
+                    Chunk::Status::kSentinel,
+                "user key resolved to the sentinel chunk");
+
+    // Infant chunk: finish its parent's rebalance and retry (PutImpl's
+    // phase 0; the policy trigger is folded into the run dispatch below).
+    if (chunk->status.load(std::memory_order_acquire) ==
+        Chunk::Status::kInfant) {
+      RebalanceObject* ro = chunk->parent->ro.load(std::memory_order_acquire);
+      KIWI_ASSERT(ro != nullptr, "infant chunk without a parent rebalance");
+      Normalize(ro);
+      continue;
+    }
+
+    // The run this chunk covers: keys below the successor's minKey.  The
+    // bound stays valid even if the successor is concurrently replaced —
+    // replacement heads inherit their sector's minKey.
+    Chunk* succ = chunk->Next();
+    std::size_t run_end = sorted.size();
+    if (succ != nullptr) {
+      run_end = done + 1;
+      while (run_end < sorted.size() &&
+             sorted[run_end].first < succ->min_key) {
+        ++run_end;
+      }
+    }
+    const std::span<const Entry> run(sorted.data() + done, run_end - done);
+
+    const std::uint32_t allocated = chunk->AllocatedCells();
+    const bool full =
+        chunk->k_counter.load(std::memory_order_acquire) > chunk->capacity ||
+        chunk->v_counter.load(std::memory_order_acquire) >= chunk->capacity;
+    const bool frozen = chunk->status.load(std::memory_order_acquire) ==
+                        Chunk::Status::kFrozen;
+    if (run.size() >= bulk_min || full || frozen ||
+        policy_.ShouldTrigger(allocated, chunk->batched_count, ThreadRng())) {
+      // Bulk path: carry the run through the rebalance build, seeding the
+      // replacement chunks' sorted prefixes straight from the batch — no
+      // per-key PPA round trips.  0 means another thread's section won
+      // consensus; re-locate and retry (lock-free: each loss implies a
+      // competing splice completed).
+      const std::size_t installed = Rebalance(chunk, run);
+      if (installed > 0) {
+        KIWI_OBS_ADD(obs_, batch_bulk_entries, installed);
+        KIWI_TRACE(kBatchBulk, run[0].first, installed);
+        done += installed;
+      } else {
+        KIWI_OBS_INC(obs_, put_restarts);
+        KIWI_TRACE(kPutRestart, sorted[done].first,
+                   reinterpret_cast<std::uintptr_t>(chunk));
+      }
+      continue;
+    }
+
+    // Short run: the per-key PPA protocol, with the two index claims
+    // batched and the insertion point carried between keys.
+    const std::size_t installed = PutRunPerOp(chunk, run, slot);
+    if (installed > 0) {
+      KIWI_TRACE(kBatchRun, run[0].first, installed);
+      done += installed;
+    }
+    // installed < run.size(): the chunk filled or froze mid-run; the next
+    // iteration re-locates the remainder and takes the rebalance path.
+  }
+}
+
+std::size_t KiWiMap::PutRunPerOp(Chunk* chunk, std::span<const Entry> run,
+                                 std::size_t slot) {
+  // Claim cells and value slots for as much of the run as plausibly fits —
+  // two fetch-adds instead of two per key.  The counters can still race
+  // past capacity (other writers claim concurrently), so the post-claim
+  // bounds below are authoritative.  Claimed-but-unused cells are benign:
+  // never published, never linked; AllocatedCells is documented as an
+  // upper bound on live entries.
+  const std::uint32_t cap = chunk->capacity;
+  const std::uint32_t v_seen =
+      chunk->v_counter.load(std::memory_order_acquire);
+  const std::uint32_t want = static_cast<std::uint32_t>(std::min<std::size_t>(
+      run.size(), v_seen < cap ? cap - v_seen : 0));
+  if (want == 0) return 0;
+  const std::uint32_t j_base =
+      chunk->v_counter.fetch_add(want, std::memory_order_seq_cst);
+  const std::uint32_t i_base =
+      chunk->k_counter.fetch_add(want, std::memory_order_seq_cst);
+  const std::uint32_t usable_v =
+      j_base < cap ? std::min(want, cap - j_base) : 0;
+  const std::uint32_t usable_k =
+      i_base <= cap ? std::min(want, cap - i_base + 1) : 0;
+  const std::uint32_t n = std::min(usable_v, usable_k);
+
+  // Keys ascend within the run, so each key's insertion point is at or
+  // after the previous one's predecessor — thread it through as the next
+  // list search's starting point.
+  std::int32_t hint = Chunk::kNullIdx;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const auto [key, value] = run[t];
+    const std::uint32_t j = j_base + t;
+    const std::uint32_t i = i_base + t;
+    chunk->v[j] = value;
+    Chunk::Cell& cell = chunk->k[i];
+    cell.key = key;
+    cell.version = kNoVersion;
+    cell.val_ptr.store(static_cast<std::int32_t>(j),
+                       std::memory_order_relaxed);
+    cell.next.store(Chunk::kNullIdx, std::memory_order_relaxed);
+
+    // PutImpl's phases 2-3.  A failed publish or a frozen version means
+    // the chunk froze under us: entries [t, n) are not installed and the
+    // caller re-dispatches them after re-locating.
+    std::uint64_t expected = Chunk::kPpaIdle;
+    if (!chunk->ppa[slot].compare_exchange_strong(
+            expected, Chunk::PackPpa(Chunk::kPpaVerBottom, i),
+            std::memory_order_seq_cst)) {
+      return t;
+    }
+    TestHooks::Run(TestHooks::put_before_version_cas);
+    const Version gv = gv_.Load();
+    std::uint64_t published = Chunk::PackPpa(Chunk::kPpaVerBottom, i);
+    const bool own_cas = chunk->ppa[slot].compare_exchange_strong(
+        published, Chunk::PackPpa(gv, i), std::memory_order_seq_cst);
+    const Version version =
+        Chunk::PpaVer(chunk->ppa[slot].load(std::memory_order_seq_cst));
+    if (!own_cas && version != Chunk::kPpaVerFrozen) {
+      KIWI_OBS_INC(obs_, puts_helped);
+      KIWI_TRACE(kPutHelped, key, version);
+    }
+    if (version == Chunk::kPpaVerFrozen) return t;
+    cell.version = version;
+
+    while (true) {
+      std::int32_t pred;
+      std::int32_t succ;
+      const std::int32_t existing =
+          chunk->FindCellFrom(hint, key, version, &pred, &succ);
+      if (existing == Chunk::kNullIdx) {
+        cell.next.store(succ, std::memory_order_relaxed);
+        std::int32_t expected_succ = succ;
+        if (chunk->k[pred].next.compare_exchange_strong(
+                expected_succ, static_cast<std::int32_t>(i),
+                std::memory_order_seq_cst)) {
+          hint = pred;
+          break;
+        }
+        continue;  // list changed under us; re-find the insertion point
+      }
+      // Same {key, version} already linked: the larger value location wins
+      // (it fetched-and-added later).
+      const std::int32_t current =
+          chunk->k[existing].val_ptr.load(std::memory_order_acquire);
+      if (current >= static_cast<std::int32_t>(j)) {
+        hint = pred;
+        break;  // we lost
+      }
+      std::int32_t expected_ptr = current;
+      chunk->k[existing].val_ptr.compare_exchange_strong(
+          expected_ptr, static_cast<std::int32_t>(j),
+          std::memory_order_seq_cst);
+    }
+    chunk->ppa[slot].store(Chunk::kPpaIdle, std::memory_order_seq_cst);
+  }
+  return n;
+}
+
 std::optional<Value> KiWiMap::Get(Key key) {
   KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
   KIWI_OBS_INC(obs_, gets);

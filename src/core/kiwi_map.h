@@ -80,6 +80,21 @@ class KiWiMap {
   /// `value` must not be kTombstoneValue.
   void Put(Key key, Value value);
 
+  /// Insert or overwrite every pair of `entries` — equivalent to calling
+  /// Put for each in order (duplicate keys: the last occurrence wins), but
+  /// amortized: the batch is sorted once, the chunk list is walked once,
+  /// and each chunk absorbs its covered run in one pass (two index claims
+  /// per run instead of per key).  Long presorted runs are installed by
+  /// building replacement chunks directly from the batch through the
+  /// rebalance machinery, bypassing the per-key PPA round trip entirely.
+  ///
+  /// NOT atomic as a whole: each entry linearizes individually somewhere
+  /// inside the call, exactly as a sequence of Puts would, so concurrent
+  /// scans may observe any prefix-consistent subset.  Lock-free.  Keys
+  /// must be >= kMinUserKey, values must not be kTombstoneValue.  See
+  /// docs/INGEST.md for the full walkthrough.
+  void PutBatch(std::span<const Entry> entries);
+
   /// Remove `key` (puts the tombstone, paper's put(⊥)).  Lock-free.
   void Remove(Key key);
 
@@ -199,11 +214,20 @@ class KiWiMap {
   /// Shared body of Put and Remove (a remove is a put of the tombstone).
   void PutImpl(Key key, Value value);
 
+  /// PutBatch's amortized per-op path: install a sorted run of distinct
+  /// keys (all covered by `chunk`) through the normal PPA protocol, but
+  /// with the cell/value-slot claims batched into two fetch-adds and the
+  /// intra-chunk insertion point carried forward between keys.  Returns
+  /// how many leading entries were installed; fewer than run.size() means
+  /// the chunk filled or froze mid-run and the caller must re-locate.
+  std::size_t PutRunPerOp(Chunk* chunk, std::span<const Entry> run,
+                          std::size_t slot);
+
   struct BuiltSection {
     Chunk* first = nullptr;
     Chunk* last = nullptr;
     std::uint32_t count = 0;
-    bool put_included = false;
+    std::uint32_t puts_included = 0;
   };
 
   /// Chunk that currently covers `key` (index lookup + list walk).
@@ -215,8 +239,19 @@ class KiWiMap {
   bool CheckRebalance(Chunk* chunk, Key key, Value value, bool* put_done);
 
   /// Paper's rebalance (Algorithm 4 stages 1-5 + normalize).  Returns true
-  /// iff this call's (key, value) was inserted by the rebalance.
+  /// iff this call's (key, value) was inserted by the rebalance.  Thin
+  /// wrapper over the span form; the piggyback config gate lives here.
   bool Rebalance(Chunk* chunk, Key key, Value value, bool has_put);
+
+  /// Span form: runs the full rebalance of `chunk`'s sector and merges
+  /// `puts` (sorted by key, distinct keys) into the replacement section
+  /// during the build stage.  Returns the number of entries installed —
+  /// every put covered by the sector when our built section won consensus,
+  /// 0 otherwise (the caller re-locates and retries; each loss implies
+  /// another thread's section was spliced, so retries are lock-free).
+  /// Entries linearize at the splice CAS with the GV current at build time,
+  /// exactly like the single-put piggyback.
+  std::size_t Rebalance(Chunk* chunk, std::span<const Entry> puts);
 
   /// Stage 1: agree on the engaged set; returns the rebalance object and
   /// the last engaged chunk.
@@ -230,10 +265,12 @@ class KiWiMap {
   /// versions.  `bounded` = false means the range extends to +inf.
   Version ComputeMinVersion(Key from, Key to_exclusive, bool bounded);
 
-  /// Stage 4: build the replacement section from the engaged chunks.
+  /// Stage 4: build the replacement section from the engaged chunks,
+  /// merging the sector-covered subset of `puts` (sorted, distinct keys)
+  /// into the compacted data at the current GV.
   BuiltSection BuildSection(RebalanceObject* ro, Chunk* last,
-                            Version min_version, Key put_key, Value put_value,
-                            bool has_put);
+                            Version min_version,
+                            std::span<const Entry> puts);
 
   /// Stage 5: consensus + splice.  Returns true once the (agreed)
   /// replacement section is reachable; *i_won reports whether this thread's

@@ -35,7 +35,13 @@ struct KiWiConfig {
   std::uint32_t max_engaged_chunks = 8;
   /// Insert the triggering put's pair during rebalance (paper §6.1 leaves
   /// this off and restarts the put instead; both paths are implemented).
+  /// Does not gate PutBatch's bulk path, which always installs its run
+  /// through the rebalance build.
   bool enable_put_piggyback = false;
+  /// PutBatch switches from the per-key PPA path to bulk chunk building
+  /// (rebalance-carried) once a chunk's covered run reaches this many
+  /// entries.  0 = auto: max(4, chunk_capacity / 8).
+  std::uint32_t batch_bulk_min_run = 0;
 };
 
 /// Stateless policy decisions parameterized by KiWiConfig.  The RNG is the
@@ -68,6 +74,15 @@ class RebalancePolicy {
     const std::uint64_t total = engaged_cells + next_cells;
     const std::uint64_t projected = (total + per_chunk - 1) / per_chunk;
     return projected <= engaged_chunks;  // engaging yields <= engaged chunks
+  }
+
+  /// Minimum chunk-covered run length at which PutBatch bulk-builds
+  /// replacement chunks instead of inserting per key (see
+  /// KiWiConfig::batch_bulk_min_run).
+  std::uint32_t BulkRunThreshold() const {
+    if (config_.batch_bulk_min_run != 0) return config_.batch_bulk_min_run;
+    const std::uint32_t auto_threshold = config_.chunk_capacity / 8;
+    return auto_threshold < 4 ? 4 : auto_threshold;
   }
 
   const KiWiConfig& config() const { return config_; }

@@ -24,6 +24,7 @@
 //    read point — the literal pseudocode can drop a value a pending scan
 //    still needs.
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "common/assert.h"
@@ -63,10 +64,20 @@ bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
 }
 
 bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
+  // The piggyback gate lives here so that PutBatch's bulk path (the span
+  // form below) is always allowed to carry its run through the build.
+  const Entry entry{key, value};
+  const bool piggyback = has_put && policy_.config().enable_put_piggyback;
+  const std::span<const Entry> puts =
+      piggyback ? std::span<const Entry>(&entry, 1) : std::span<const Entry>();
+  return Rebalance(chunk, puts) > 0;
+}
+
+std::size_t KiWiMap::Rebalance(Chunk* chunk, std::span<const Entry> puts) {
   reclaim::EbrGuard guard(ebr_);
   KIWI_OBS_INC(obs_, rebalances);
   KIWI_OBS_TIMER(obs_, obs::Latency::kRebalance, whole_timer);
-  KIWI_TRACE(kRebStart, reinterpret_cast<std::uintptr_t>(chunk), has_put);
+  KIWI_TRACE(kRebStart, reinterpret_cast<std::uintptr_t>(chunk), puts.size());
 
   // ---- stage 1: engage ------------------------------------------------
   Chunk* last = nullptr;
@@ -77,7 +88,7 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
   }
   if (ro == nullptr) {
     KIWI_TRACE(kRebDone, 0, 0);  // chunk already replaced; caller restarts
-    return false;
+    return 0;
   }
   KIWI_TRACE(kRebEngage, reinterpret_cast<std::uintptr_t>(ro),
              reinterpret_cast<std::uintptr_t>(last));
@@ -115,7 +126,7 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
         ComputeMinVersion(range_from, range_to, /*bounded=*/succ != nullptr);
     KIWI_TRACE(kRebMinVersion, reinterpret_cast<std::uintptr_t>(ro),
                min_version);
-    mine = BuildSection(ro, last, min_version, key, value, has_put);
+    mine = BuildSection(ro, last, min_version, puts);
     KIWI_TRACE(kRebBuild, reinterpret_cast<std::uintptr_t>(ro), mine.count);
   }
 
@@ -172,7 +183,9 @@ bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
   KIWI_TRACE(kRebDone, reinterpret_cast<std::uintptr_t>(ro),
              (static_cast<std::uint64_t>(consensus_winner) << 1) |
                  static_cast<std::uint64_t>(splice_winner));
-  return consensus_winner && mine.put_included;
+  // Only the consensus winner's puts were published; a loser's section (and
+  // the puts merged into it) was discarded, so its caller must retry them.
+  return consensus_winner ? mine.puts_included : 0;
 }
 
 RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
@@ -375,8 +388,8 @@ void KiWiMap::CompactKeyRun(const std::vector<Chunk::Item>& items,
 }
 
 KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
-                                            Version min_version, Key put_key,
-                                            Value put_value, bool has_put) {
+                                            Version min_version,
+                                            std::span<const Entry> puts) {
   // Harvest the engaged sector.  Chunks hold ascending disjoint ranges and
   // CollectItems sorts within a chunk, so concatenation is globally sorted.
   std::vector<Chunk::Item> items;
@@ -385,22 +398,37 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
     if (c == last) break;
   }
 
-  bool put_included = false;
-  if (has_put && policy_.config().enable_put_piggyback) {
+  std::uint32_t puts_included = 0;
+  if (!puts.empty()) {
+    // The carried puts take the current GV, like any put would; since every
+    // harvested version came from an earlier GV load, each put item is the
+    // newest version of its key.  One load covers the whole run: concurrent
+    // puts may legally share a version (scans F&I past it).
     Chunk* succ = last->Next();
-    const bool covered = put_key >= ro->first->min_key &&
-                         (succ == nullptr || put_key < succ->min_key);
-    if (covered) {
-      // INT32_MAX as the value location: the piggybacked put wins any
+    const Key range_from = ro->first->min_key;
+    const bool bounded = succ != nullptr;
+    const Key range_to = bounded ? succ->min_key : 0;
+    const Version put_version = gv_.Load();
+    std::vector<Chunk::Item> put_items;
+    put_items.reserve(puts.size());
+    for (const auto& [put_key, put_value] : puts) {
+      if (put_key < range_from || (bounded && put_key >= range_to)) continue;
+      // INT32_MAX as the value location: the carried put wins any
       // {key, version} tie against sector-internal data.
-      const Chunk::Item item{put_key, gv_.Load(),
-                             std::numeric_limits<std::int32_t>::max(),
-                             put_value};
-      items.insert(
-          std::upper_bound(items.begin(), items.end(), item,
-                           Chunk::ItemBefore),
-          item);
-      put_included = true;
+      put_items.push_back(Chunk::Item{
+          put_key, put_version, std::numeric_limits<std::int32_t>::max(),
+          put_value});
+    }
+    if (!put_items.empty()) {
+      // `puts` is sorted with distinct keys, so put_items is too; one merge
+      // instead of a per-item insertion.
+      std::vector<Chunk::Item> merged;
+      merged.reserve(items.size() + put_items.size());
+      std::merge(items.begin(), items.end(), put_items.begin(),
+                 put_items.end(), std::back_inserter(merged),
+                 Chunk::ItemBefore);
+      items.swap(merged);
+      puts_included = static_cast<std::uint32_t>(put_items.size());
     }
   }
 
@@ -470,7 +498,7 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
     section.count++;
   }
   section.last = prev_chunk;
-  section.put_included = put_included;
+  section.puts_included = puts_included;
   return section;
 }
 

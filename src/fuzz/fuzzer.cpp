@@ -30,9 +30,14 @@ void Worker(KiWiMap& map, Recorder& recorder, const RoundParams& params,
             std::uint32_t thread) {
   Xoshiro256 rng(params.seed ^ (0xa076'1d64'78bd'642fULL * (thread + 1)));
   std::vector<KiWiMap::Entry> scan_buf;
+  std::vector<KiWiMap::Entry> batch_buf;
+  // Monotone per-thread counter feeding OpValue: one bump per *written*
+  // value, so batch entries and plain puts never collide.
+  std::uint32_t value_counter = 0;
   const std::uint64_t kPutCut = params.put_pct;
   const std::uint64_t kRemoveCut = kPutCut + params.remove_pct;
   const std::uint64_t kGetCut = kRemoveCut + params.get_pct;
+  const std::uint64_t kBatchCut = kGetCut + params.batch_pct;
   for (std::uint32_t i = 0; i < params.ops_per_thread; ++i) {
     const std::uint64_t roll = rng.NextBounded(100);
     const Key key = 1 + static_cast<Key>(rng.NextBounded(params.keys));
@@ -41,7 +46,7 @@ void Worker(KiWiMap& map, Recorder& recorder, const RoundParams& params,
     op.key = key;
     if (roll < kPutCut) {
       op.kind = FuzzOp::Kind::kPut;
-      op.value = OpValue(thread, i);
+      op.value = OpValue(thread, value_counter++);
       op.invoke = recorder.Clock().Tick();
       map.Put(key, op.value);
       op.response = recorder.Clock().Tick();
@@ -57,6 +62,42 @@ void Worker(KiWiMap& map, Recorder& recorder, const RoundParams& params,
       op.response = recorder.Clock().Tick();
       op.found = got.has_value();
       op.value = got.value_or(0);
+    } else if (roll < kBatchCut) {
+      // One PutBatch call; the raw batch (duplicates and all) goes to the
+      // map, and each entry that survives the batch's keep-last duplicate
+      // rule is recorded as an individual put over the shared window —
+      // entries lost to an in-batch overwrite are never published, so
+      // recording them would claim writes that cannot be observed.
+      const std::uint64_t batch_size = 1 + rng.NextBounded(params.max_batch);
+      batch_buf.clear();
+      batch_buf.emplace_back(key, OpValue(thread, value_counter++));
+      for (std::uint64_t e = 1; e < batch_size; ++e) {
+        batch_buf.emplace_back(
+            1 + static_cast<Key>(rng.NextBounded(params.keys)),
+            OpValue(thread, value_counter++));
+      }
+      const auto invoke = recorder.Clock().Tick();
+      map.PutBatch(batch_buf);
+      const auto response = recorder.Clock().Tick();
+      for (std::size_t e = 0; e < batch_buf.size(); ++e) {
+        bool last_occurrence = true;
+        for (std::size_t l = e + 1; l < batch_buf.size(); ++l) {
+          if (batch_buf[l].first == batch_buf[e].first) {
+            last_occurrence = false;
+            break;
+          }
+        }
+        if (!last_occurrence) continue;
+        FuzzOp entry_op;
+        entry_op.thread = thread;
+        entry_op.kind = FuzzOp::Kind::kPut;
+        entry_op.key = batch_buf[e].first;
+        entry_op.value = batch_buf[e].second;
+        entry_op.invoke = invoke;
+        entry_op.response = response;
+        recorder.Record(thread, std::move(entry_op));
+      }
+      continue;
     } else {
       op.kind = FuzzOp::Kind::kScan;
       const std::uint64_t span = 1 + rng.NextBounded(params.max_scan_span);
@@ -191,6 +232,10 @@ std::optional<std::string> DumpFailureArtifacts(const RoundParams& params,
       << " --chunk-capacity=" << params.chunk_capacity
       << " --mix=" << params.put_pct << ":" << params.remove_pct << ":"
       << params.get_pct << " --max-engaged=" << params.max_engaged_chunks;
+  if (params.batch_pct != 0) {
+    out << " --batch-pct=" << params.batch_pct
+        << " --batch-max=" << params.max_batch;
+  }
   if (params.site_mask != ~std::uint64_t{0}) {
     out << " --site-mask=0x" << std::hex << params.site_mask << std::dec;
   }

@@ -43,12 +43,21 @@ struct RoundParams {
   std::uint32_t max_engaged_chunks = 8;
   /// Widest scan range drawn (inclusive key span).
   std::uint32_t max_scan_span = 4;
-  /// Op mix in percent; the remainder after put+remove+get is the scan
-  /// share.  Remove-heavy mixes produce sparse chunks and therefore chunk
-  /// *merges* — required to exercise the multi-chunk engage consensus.
+  /// Op mix in percent; the remainder after put+remove+get+batch is the
+  /// scan share.  Remove-heavy mixes produce sparse chunks and therefore
+  /// chunk *merges* — required to exercise the multi-chunk engage consensus.
   std::uint32_t put_pct = 35;
   std::uint32_t remove_pct = 15;
   std::uint32_t get_pct = 30;
+  /// PutBatch share of the mix.  Each batch op draws 1..max_batch keys
+  /// (duplicates allowed — the raw batch goes to PutBatch unmodified) and
+  /// records every surviving entry (duplicate keys: last occurrence) as an
+  /// individual put sharing the batch's invoke/response window, which is
+  /// exactly the linearization contract (each entry linearizes on its own
+  /// inside the call).  Default 0 keeps legacy seeds' op streams intact;
+  /// the kiwi_fuzz driver and CI sweeps opt in via --batch-pct.
+  std::uint32_t batch_pct = 0;
+  std::uint32_t max_batch = 6;
   /// Mutant mask installed for the round (TestHooks::Mutant bits).
   std::uint32_t mutants = 0;
   /// Restrict the seed-derived schedule to these sites (bit i = site i in

@@ -93,6 +93,9 @@ void Usage(FILE* to) {
       "  --chunk-capacity=N  chunk capacity (default 8)\n"
       "  --mix=P:R:G         op mix percent put:remove:get, rest scans\n"
       "                      (default 35:15:30)\n"
+      "  --batch-pct=N       PutBatch share of the mix, carved out of the\n"
+      "                      scan remainder (default 0: batches off)\n"
+      "  --batch-max=N       max entries per fuzzed batch (default 6)\n"
       "  --max-engaged=N     max chunks engaged per rebalance (default 8)\n"
       "  --site-mask=M       restrict perturbed hook sites (bitmask)\n"
       "  --force-site=I:A:P:N  pin site I to action A (yield|sleep|spin)\n"
@@ -195,6 +198,12 @@ int ParseArgs(int argc, char** argv, Options& opt) {
       opt.params.put_pct = put;
       opt.params.remove_pct = remove;
       opt.params.get_pct = get;
+    } else if (const char* s = value("--batch-pct=")) {
+      if (!ParseU64(s, v) || v > 100) return 2;
+      opt.params.batch_pct = static_cast<std::uint32_t>(v);
+    } else if (const char* s = value("--batch-max=")) {
+      if (!ParseU64(s, v) || v == 0) return 2;
+      opt.params.max_batch = static_cast<std::uint32_t>(v);
     } else if (const char* s = value("--site-mask=")) {
       if (!ParseU64(s, opt.params.site_mask)) return 2;
     } else if (const char* s = value("--force-site=")) {

@@ -54,6 +54,11 @@ std::string DebugReport::ToText() const {
          (unsigned long long)c.scans, (unsigned long long)c.scan_keys,
          (unsigned long long)c.snapshots);
   Append(out,
+         "  put_batches=%llu batch_entries=%llu batch_bulk_entries=%llu\n",
+         (unsigned long long)c.put_batches,
+         (unsigned long long)c.batch_entries,
+         (unsigned long long)c.batch_bulk_entries);
+  Append(out,
          "  rebalances=%llu rebalance_wins=%llu put_restarts=%llu "
          "puts_piggybacked=%llu puts_helped=%llu scans_helped=%llu\n",
          (unsigned long long)c.rebalances,
@@ -123,6 +128,9 @@ std::string DebugReport::ToJson() const {
   field("scans", c.scans);
   field("scan_keys", c.scan_keys);
   field("snapshots", c.snapshots);
+  field("put_batches", c.put_batches);
+  field("batch_entries", c.batch_entries);
+  field("batch_bulk_entries", c.batch_bulk_entries);
   field("rebalances", c.rebalances);
   field("rebalance_wins", c.rebalance_wins);
   field("put_restarts", c.put_restarts);

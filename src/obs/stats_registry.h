@@ -43,6 +43,9 @@ struct OpCounters {
   std::uint64_t scans = 0;       // Scan() calls
   std::uint64_t scan_keys = 0;   // pairs yielded across all scans
   std::uint64_t snapshots = 0;   // Snapshot views opened
+  std::uint64_t put_batches = 0;        // PutBatch() calls
+  std::uint64_t batch_entries = 0;      // entries submitted (pre-dedup)
+  std::uint64_t batch_bulk_entries = 0; // entries installed via bulk build
   // ---- KiWi internals (superset of the legacy KiWiStats) ---------------
   std::uint64_t rebalances = 0;        // rebalance executions (incl. helpers)
   std::uint64_t rebalance_wins = 0;    // replace-stage splice-CAS wins
@@ -61,6 +64,9 @@ struct OpCounters {
     scans += other.scans;
     scan_keys += other.scan_keys;
     snapshots += other.snapshots;
+    put_batches += other.put_batches;
+    batch_entries += other.batch_entries;
+    batch_bulk_entries += other.batch_bulk_entries;
     rebalances += other.rebalances;
     rebalance_wins += other.rebalance_wins;
     put_restarts += other.put_restarts;

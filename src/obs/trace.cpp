@@ -272,6 +272,9 @@ const char* TraceEventName(Ev id) {
     case Ev::kEbrEpoch: return "ebr_epoch";
     case Ev::kEbrCollect: return "ebr_collect";
     case Ev::kFatal: return "fatal";
+    case Ev::kBatchStart: return "batch_start";
+    case Ev::kBatchRun: return "batch_run";
+    case Ev::kBatchBulk: return "batch_bulk";
     case Ev::kCount_: break;
   }
   return "?";

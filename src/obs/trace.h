@@ -73,7 +73,7 @@ enum class Ev : std::uint16_t {
   kScanHelpInstall, // a0=psa slot, a1=version   (always: rebalance helped)
   kSnapshotOpen,    // a0=read point, a1=0       (always)
   // ---- rebalance stage transitions (always) -----------------------------
-  kRebStart,        // a0=trigger chunk, a1=has_put
+  kRebStart,        // a0=trigger chunk, a1=#carried puts
   kRebEngage,       // a0=ro, a1=last engaged chunk
   kRebEngageAdopt,  // a0=our observed last, a1=adopted last (emitted only
                     //   when another helper's consensus view won)
@@ -91,6 +91,10 @@ enum class Ev : std::uint16_t {
   kEbrCollect,      // a0=objects freed, a1=still pending
   // ---- crash path -------------------------------------------------------
   kFatal,           // a0=line number, a1=0 (message goes to stderr)
+  // ---- batch ingest (always; appended in PR 7) --------------------------
+  kBatchStart,      // a0=entries submitted, a1=entries after dedup
+  kBatchRun,        // a0=first key of run, a1=#entries installed per-op
+  kBatchBulk,       // a0=first key of run, a1=#entries installed via build
   kCount_,
 };
 

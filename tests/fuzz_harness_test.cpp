@@ -52,6 +52,24 @@ TEST(FuzzHarness, CleanRoundsHaveNoViolations) {
   }
 }
 
+// Same sweep with PutBatch ops in the mix (carved out of the scan share):
+// every batch entry is recorded as an individual put over the batch's
+// invoke/response window, so both checker layers (register histories and
+// scan cuts) apply unchanged.  Batches hit the run splitter, the per-op run
+// path, and — when a run covers a whole tiny chunk — the bulk-build path.
+TEST(FuzzHarness, CleanRoundsWithBatchOpsHaveNoViolations) {
+  const int rounds = ScaledIters(6);
+  for (int i = 0; i < rounds; ++i) {
+    RoundParams params;
+    params.seed = 101 + static_cast<std::uint64_t>(i);
+    params.batch_pct = 15;
+    params.max_batch = 6;
+    const RoundResult r = RunRound(params);
+    EXPECT_TRUE(r.ok) << "seed " << params.seed << ": " << r.message
+                      << "\nschedule: " << r.schedule;
+  }
+}
+
 // Regression: the lazy chunk index can return an already-spliced-out chunk;
 // LocateChunk must not trust its dead next-chain (readers would miss every
 // put that completed in the replacement section).  Found by this fuzzer at
@@ -83,6 +101,18 @@ TEST(FuzzHarness, DetectsSkipScanPublishMutant) {
   const int used =
       SeedsUntilViolation(TestHooks::kSkipScanPublish, RoundParams{},
                           ScaledIters(25));
+  EXPECT_GT(used, 0) << "mutant not detected within seed budget";
+}
+
+TEST(FuzzHarness, DetectsSkipScanPublishMutantThroughBatchMix) {
+  // The harness keeps its teeth when batches replace part of the mix: a
+  // batch entry's recorded put window constrains scans exactly like a
+  // plain put's, so the scan-publish mutant must still surface.
+  RoundParams base;
+  base.batch_pct = 15;
+  base.max_batch = 6;
+  const int used = SeedsUntilViolation(TestHooks::kSkipScanPublish, base,
+                                       ScaledIters(25));
   EXPECT_GT(used, 0) << "mutant not detected within seed budget";
 }
 
