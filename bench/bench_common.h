@@ -108,7 +108,9 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
           "flags: --maps=kiwi,kary,skiplist,snaptree --threads=1,2,4 "
           "--size=N --panel=X --obs --trace=<file>\nenv: KIWI_BENCH_SIZE, "
           "KIWI_BENCH_THREADS, KIWI_BENCH_WARMUP_MS, KIWI_BENCH_ITER_MS, "
-          "KIWI_BENCH_ITERS, KIWI_BENCH_OBS, KIWI_BENCH_TRACE\n");
+          "KIWI_BENCH_ITERS, KIWI_BENCH_OBS, KIWI_BENCH_TRACE,\n     "
+          "KIWI_METRICS=<interval>[:<jsonl>] (continuous telemetry, e.g. "
+          "KIWI_METRICS=1s | scripts/kiwi_top.py), KIWI_METRICS_PROM=<file>\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());

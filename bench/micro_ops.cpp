@@ -5,6 +5,7 @@
 
 #include "api/map_interface.h"
 #include "common/random.h"
+#include "harness/metrics.h"
 
 using namespace kiwi;
 
@@ -16,6 +17,7 @@ constexpr std::uint64_t kKeyRange = 2 * kPrefill;
 template <api::MapKind kKind>
 void BM_Put(benchmark::State& state) {
   auto map = api::MakeMap(kKind);
+  harness::StartEnvMetricsPump(*map);  // KIWI_METRICS opt-in, no-op unset
   Xoshiro256 rng(1);
   for (std::int64_t i = 0; i < kPrefill; ++i) {
     map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
@@ -29,6 +31,7 @@ void BM_Put(benchmark::State& state) {
 template <api::MapKind kKind>
 void BM_Get(benchmark::State& state) {
   auto map = api::MakeMap(kKind);
+  harness::StartEnvMetricsPump(*map);
   Xoshiro256 rng(2);
   for (std::int64_t i = 0; i < kPrefill; ++i) {
     map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
@@ -44,6 +47,7 @@ template <api::MapKind kKind>
 void BM_Scan(benchmark::State& state) {
   const std::uint64_t range = state.range(0);
   auto map = api::MakeMap(kKind);
+  harness::StartEnvMetricsPump(*map);
   Xoshiro256 rng(3);
   for (std::int64_t i = 0; i < kPrefill; ++i) {
     map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);
@@ -60,6 +64,7 @@ void BM_Scan(benchmark::State& state) {
 template <api::MapKind kKind>
 void BM_Remove(benchmark::State& state) {
   auto map = api::MakeMap(kKind);
+  harness::StartEnvMetricsPump(*map);
   Xoshiro256 rng(4);
   for (std::int64_t i = 0; i < kPrefill; ++i) {
     map->Put(static_cast<Key>(rng.NextBounded(kKeyRange)), i);

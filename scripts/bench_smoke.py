@@ -31,7 +31,44 @@ SMOKE_ENV = {
     "KIWI_BENCH_WARMUP_MS": "100",
     "KIWI_BENCH_ITER_MS": "300",
     "KIWI_BENCH_ITERS": "2",
+    # obsjson rows feed the artifact's "obs" section (retry/lag trajectory).
+    "KIWI_BENCH_OBS": "1",
 }
+
+# Contention counters surfaced per bench run in the artifact's "obs"
+# section.  Trajectory only — never gated: retry counts vary wildly with
+# runner load, so they are recorded for trend reading, not thresholds.
+OBS_RETRY_FIELDS = (
+    "put_link_retries",
+    "ppa_publish_fails",
+    "engage_cas_fails",
+    "freeze_cas_retries",
+    "splice_retries",
+    "index_cas_retries",
+)
+
+
+def collect_obs(stdout, obs):
+    """Fold `obsjson,<figure>,<series>,<json>` rows into {key: columns}.
+
+    A figure emits one row per (series, run); later runs of the same key
+    overwrite earlier ones, so each key holds the final run's numbers."""
+    for line in stdout.splitlines():
+        if not line.startswith("obsjson,"):
+            continue
+        try:
+            _, figure, series, payload = line.split(",", 3)
+            report = json.loads(payload)
+        except ValueError:
+            continue
+        counters = report.get("counters", {})
+        gauges = report.get("gauges", {})
+        columns = {f: counters.get(f, 0) for f in OBS_RETRY_FIELDS}
+        columns["retries_total"] = sum(columns.values())
+        columns["put_restarts"] = counters.get("put_restarts", 0)
+        columns["ebr_epoch_lag"] = gauges.get("ebr_epoch_lag", 0)
+        columns["ebr_pending_bytes"] = gauges.get("ebr_pending_bytes", 0)
+        obs[f"{figure}/{series}"] = columns
 
 
 def run_micro_ops(build_dir):
@@ -60,7 +97,7 @@ def run_micro_ops(build_dir):
     return metrics
 
 
-def run_fig3(build_dir):
+def run_fig3(build_dir, obs):
     """fig3_basic kiwi rows -> {name: Mkeys_per_second}."""
     cmd = [
         os.path.join(build_dir, "bench", "fig3_basic"),
@@ -71,6 +108,7 @@ def run_fig3(build_dir):
     result = subprocess.run(cmd, check=True, env=env,
                             capture_output=True, text=True)
     sys.stdout.write(result.stdout)
+    collect_obs(result.stdout, obs)
     metrics = {}
     for line in result.stdout.splitlines():
         parts = line.split(",")
@@ -80,7 +118,7 @@ def run_fig3(build_dir):
     return metrics
 
 
-def run_fig_ingest(build_dir):
+def run_fig_ingest(build_dir, obs):
     """fig_ingest kiwi rows -> Mkeys/s plus the batch/put speed-up ratios.
 
     The batch_over_put_presorted ratio is the PutBatch acceptance gate: the
@@ -95,6 +133,7 @@ def run_fig_ingest(build_dir):
     result = subprocess.run(cmd, check=True, env=env,
                             capture_output=True, text=True)
     sys.stdout.write(result.stdout)
+    collect_obs(result.stdout, obs)
     metrics = {}
     for line in result.stdout.splitlines():
         parts = line.split(",")
@@ -137,20 +176,23 @@ def main():
     tolerance = float(os.environ.get("BENCH_SMOKE_TOLERANCE", "0.25"))
 
     metrics = {}
+    obs = {}
     metrics.update(run_micro_ops(args.build))
-    metrics.update(run_fig3(args.build))
-    metrics.update(run_fig_ingest(args.build))
+    metrics.update(run_fig3(args.build, obs))
+    metrics.update(run_fig_ingest(args.build, obs))
 
     artifact = {
         "bench_smoke": 1,
         "env": SMOKE_ENV,
         "tolerance": tolerance,
         "metrics": metrics,
+        # Contention/reclamation trajectory columns (never gated).
+        "obs": obs,
     }
     with open(args.out, "w") as f:
         json.dump(artifact, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"wrote {args.out} ({len(metrics)} metrics)")
+    print(f"wrote {args.out} ({len(metrics)} metrics, {len(obs)} obs rows)")
 
     if args.check:
         if not os.path.exists(args.baseline):

@@ -1,6 +1,7 @@
 #include "core/chunk.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <new>
 
@@ -44,6 +45,10 @@ Chunk::Chunk(reclaim::SlabPool* pool, Key min_key_arg,
       k_counter(1 + static_cast<std::uint32_t>(batched.size())),
       v_counter(static_cast<std::uint32_t>(batched.size())),
       batched_count(static_cast<std::uint32_t>(batched.size())),
+      birth_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())),
       k(reinterpret_cast<Cell*>(reinterpret_cast<char*>(this) +
                                 sizeof(Chunk))),
       v(reinterpret_cast<Value*>(reinterpret_cast<char*>(this) +
@@ -199,7 +204,8 @@ void Chunk::HelpPendingPuts(GlobalVersion& gv, Key from, Key to) {
   }
 }
 
-void Chunk::FreezePpa() {
+std::uint64_t Chunk::FreezePpa() {
+  std::uint64_t retries = 0;
   for (std::size_t t = 0; t < kMaxThreads; ++t) {
     while (true) {
       const std::uint64_t word = ppa[t].load(std::memory_order_seq_cst);
@@ -210,8 +216,10 @@ void Chunk::FreezePpa() {
                                          std::memory_order_seq_cst)) {
         break;
       }
+      ++retries;  // lost to a concurrent publish/help; re-read and retry
     }
   }
+  return retries;
 }
 
 void Chunk::CollectPpaItems(std::vector<Item>& out, Key from, Key to,

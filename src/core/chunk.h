@@ -143,6 +143,9 @@ class alignas(kCacheLineSize) Chunk {
   std::atomic<std::uint32_t> v_counter;
   /// Number of sorted data cells at the front of `k` (immutable).
   const std::uint32_t batched_count;
+  /// steady_clock nanoseconds at Create; the chunk-health census reports
+  /// list age distribution from this (plain field, no obs dependency).
+  const std::uint64_t birth_ns;
 
   Cell* const k;   // into the slab; [0] = sentinel, data in [1, capacity]
   Value* const v;  // into the slab; data value slots [0, capacity)
@@ -197,7 +200,9 @@ class alignas(kCacheLineSize) Chunk {
   void HelpPendingPuts(GlobalVersion& gv, Key from, Key to);
 
   /// Freeze every PPA slot that has no version yet (rebalance stage 2).
-  void FreezePpa();
+  /// Returns the number of CAS attempts that lost to a concurrent publish
+  /// or help (contention telemetry; the rebalance caller accounts it).
+  std::uint64_t FreezePpa();
 
   /// Allocated data-cell count (includes cells that lost races; an upper
   /// bound on live entries, used by the rebalance policy).

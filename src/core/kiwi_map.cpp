@@ -77,7 +77,10 @@ KiWiMap::KiWiMap(std::span<const Entry> sorted_entries, KiWiConfig config)
 }
 
 KiWiMap::~KiWiMap() {
-  // Externally synchronized.  Live chunks are destroyed here; disconnected
+  // Externally synchronized.  The metrics pump (if any) reads the structure
+  // from its own thread, so it must be joined before anything is torn down.
+  StopMetricsPump();
+  // Live chunks are destroyed here; disconnected
   // chunks and rebalance objects drain with ebr_'s destructor.  Their slabs
   // all land in pool_, which frees them last (declared before ebr_).
   Chunk* chunk = sentinel_;
@@ -115,6 +118,7 @@ Chunk* KiWiMap::LocateChunk(Key key) const {
       }
     }
     if (!dead_region) return chunk;
+    KIWI_OBS_INC(obs_, locate_restarts);
   }
 }
 
@@ -164,6 +168,7 @@ void KiWiMap::PutImpl(Key key, Value value) {
     const std::uint32_t i =
         chunk->k_counter.fetch_add(1, std::memory_order_seq_cst);
     if (j >= chunk->capacity || i > chunk->capacity) {
+      KIWI_OBS_INC(obs_, cell_alloc_overflows);
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
         KIWI_OBS_INC(obs_, puts_piggybacked);
         KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
@@ -188,6 +193,7 @@ void KiWiMap::PutImpl(Key key, Value value) {
     if (!chunk->ppa[slot].compare_exchange_strong(
             expected, Chunk::PackPpa(Chunk::kPpaVerBottom, i),
             std::memory_order_seq_cst)) {
+      KIWI_OBS_INC(obs_, ppa_publish_fails);
       if (Rebalance(chunk, key, value, /*has_put=*/true)) {
         KIWI_OBS_INC(obs_, puts_piggybacked);
         KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
@@ -238,6 +244,7 @@ void KiWiMap::PutImpl(Key key, Value value) {
                 std::memory_order_seq_cst)) {
           break;
         }
+        KIWI_OBS_INC(obs_, put_link_retries);
         continue;  // list changed under us; re-find the insertion point
       }
       // Same {key, version} already linked: the larger value location wins
@@ -431,6 +438,7 @@ std::size_t KiWiMap::PutRunPerOp(Chunk* chunk, std::span<const Entry> run,
           hint = pred;
           break;
         }
+        KIWI_OBS_INC(obs_, put_link_retries);
         continue;  // list changed under us; re-find the insertion point
       }
       // Same {key, version} already linked: the larger value location wins

@@ -43,6 +43,12 @@
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
 
+namespace kiwi::obs {
+struct ChunkCensus;
+class MetricsPump;
+struct MetricsPumpOptions;
+}  // namespace kiwi::obs
+
 namespace kiwi::core {
 
 /// Operational counters, exposed for tests, benches and curiosity.  A
@@ -167,6 +173,28 @@ class KiWiMap {
   /// docs/OBSERVABILITY.md.  Concurrent callers get a consistent-enough
   /// estimate; quiescent callers exact numbers.
   obs::DebugReport DebugReport();
+
+  /// Chunk-health census: one O(chunks) epoch-guarded walk of the list,
+  /// reporting per-chunk fill factor, sorted-prefix vs linked-suffix ratio,
+  /// pending-rebalance state and age, aggregated into distribution
+  /// histograms.  Live regardless of KIWI_STATS (like the gauges).  Defined
+  /// in obs/census.cpp so core objects carry no obs references.
+  obs::ChunkCensus Census();
+
+  /// Start the continuous-telemetry pump: a background thread snapshotting
+  /// DebugReport + Census every `options.interval`, computing deltas/rates,
+  /// appending JSONL and serving Prometheus text exposition.  At most one
+  /// pump per map; returns false if one is already running.  Defined in
+  /// obs/export.cpp; see docs/OBSERVABILITY.md ("Continuous telemetry").
+  bool StartMetricsPump(const obs::MetricsPumpOptions& options);
+
+  /// StartMetricsPump configured from KIWI_METRICS / KIWI_METRICS_PROM
+  /// (e.g. KIWI_METRICS=1s:/tmp/kiwi.jsonl).  No-op (false) when unset.
+  bool StartMetricsPumpFromEnv();
+
+  /// Stop and join the pump, flushing a final sample.  Safe to call with no
+  /// pump running; the destructor calls it first thing.
+  void StopMetricsPump();
 
 #if KIWI_OBS_ENABLED
   /// Direct access to the counter shards and latency histograms (tests,
@@ -317,6 +345,10 @@ class KiWiMap {
   /// pin.  One array per snapshot sub-slot; ComputeMinVersion consults all.
   Psa snapshot_psa_[kMaxSnapshotsPerThread];
   Chunk* sentinel_;  // permanent list head, never engaged
+
+  /// Owned by Start/StopMetricsPump (both defined in obs/export.cpp, so
+  /// this stays an opaque pointer here and core objects stay obs-free).
+  obs::MetricsPump* pump_ = nullptr;
 
 #if KIWI_OBS_ENABLED
   // Counters (sharded by thread slot, off the hot path's shared state) and

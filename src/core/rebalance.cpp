@@ -102,7 +102,11 @@ std::size_t KiWiMap::Rebalance(Chunk* chunk, std::span<const Entry> puts) {
       // kFrozen is exactly the intent, and stage 7's CAS(infant -> normal)
       // fails harmlessly afterwards.
       c->status.store(Chunk::Status::kFrozen, std::memory_order_seq_cst);
-      c->FreezePpa();
+      // FreezePpa must run even when stats are compiled out (KIWI_OBS_ADD
+      // drops its argument unevaluated), so call it outside the macro.
+      const std::uint64_t ppa_retries = c->FreezePpa();
+      KIWI_OBS_ADD(obs_, freeze_cas_retries, ppa_retries);
+      (void)ppa_retries;  // silence -Wunused in KIWI_STATS=OFF builds
       ++frozen;
       if (c == last) break;
     }
@@ -171,9 +175,12 @@ std::size_t KiWiMap::Rebalance(Chunk* chunk, std::span<const Entry> puts) {
                   "splice winner retiring a chunk it never flagged");
       // The deleter returns the slab to the pool; EBR's grace period is
       // what makes the recycled slab safe to reissue.
-      ebr_.Retire(c, [](void* chunk_ptr) {
-        Chunk::Destroy(static_cast<Chunk*>(chunk_ptr));
-      });
+      ebr_.Retire(
+          c,
+          [](void* chunk_ptr) {
+            Chunk::Destroy(static_cast<Chunk*>(chunk_ptr));
+          },
+          c->MemoryFootprint());
       KIWI_OBS_INC(obs_, chunks_retired);
       if (c == last) break;
       c = next;
@@ -207,12 +214,16 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
                                             std::memory_order_seq_cst)) {
         // The chunk's reference moved from `existing` to `fresh`; drop the
         // old one only after every guard that may still be reading it ends.
-        ebr_.Retire(existing, [](void* ro_ptr) {
-          RebalanceObject::Unref(static_cast<RebalanceObject*>(ro_ptr));
-        });
+        ebr_.Retire(
+            existing,
+            [](void* ro_ptr) {
+              RebalanceObject::Unref(static_cast<RebalanceObject*>(ro_ptr));
+            },
+            sizeof(RebalanceObject));
         ro = fresh;
         break;
       }
+      KIWI_OBS_INC(obs_, engage_cas_fails);
       RebalanceObject::Destroy(fresh);  // never published
       continue;
     }
@@ -224,6 +235,7 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
         ro = fresh;
         break;
       }
+      KIWI_OBS_INC(obs_, engage_cas_fails);
       RebalanceObject::Destroy(fresh);  // never published
       continue;
     }
@@ -559,8 +571,10 @@ bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
     // CAS failed.  If pred's next is marked while still aiming at our
     // sector, pred is the last engaged chunk of another rebalance: help it
     // to completion, then retry with the fresh predecessor (paper line 123).
+    KIWI_OBS_INC(obs_, splice_retries);
     const MarkedPtr<Chunk> current = pred->next.Load();
     if (current.Ptr() == ro->first && current.Mark()) {
+      KIWI_OBS_INC(obs_, splice_helps);
       Rebalance(pred, 0, 0, /*has_put=*/false);
     }
     // Otherwise the list moved under us; loop to re-find the predecessor.
@@ -593,6 +607,7 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
         break;
       }
       if (index_.PutConditional(c->min_key, prev, c)) break;
+      KIWI_OBS_INC(obs_, index_cas_retries);
     }
   }
   // ---- stage 7: normalize ---------------------------------------------

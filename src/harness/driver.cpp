@@ -9,6 +9,7 @@
 
 #include "common/assert.h"
 #include "common/barrier.h"
+#include "harness/metrics.h"
 #include "obs/trace.h"
 
 namespace kiwi::harness {
@@ -44,6 +45,11 @@ DriverOptions DriverOptions::FromEnv(DriverOptions defaults) {
 RunResult RunWorkload(api::IOrderedMap& map, const std::vector<Role>& roles,
                       const DriverOptions& options) {
   KIWI_ASSERT(!roles.empty(), "need at least one role");
+
+  // Continuous telemetry opt-in: KIWI_METRICS=<interval>[:<path>] streams
+  // JSONL samples for the run (no-op when unset, already running, or the
+  // map is not KiWi).  The map's destructor stops the pump.
+  StartEnvMetricsPump(map);
 
   if (options.initial_size > 0) {
     Prefill(map, roles.front().spec, options.initial_size, options.seed);

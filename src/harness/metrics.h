@@ -51,4 +51,10 @@ std::string ObsDigest(api::IOrderedMap& map);
 bool EmitObsJson(const std::string& figure, const std::string& series,
                  api::IOrderedMap& map);
 
+/// Start the map's continuous-telemetry pump if KIWI_METRICS is set and
+/// `map` is a KiWi instance (see docs/OBSERVABILITY.md).  Returns true iff
+/// a pump started; the map's destructor stops it.  Benches call this right
+/// after constructing a map so `KIWI_METRICS=1s kiwi_bench ...` just works.
+bool StartEnvMetricsPump(api::IOrderedMap& map);
+
 }  // namespace kiwi::harness

@@ -1,0 +1,108 @@
+// Census walk + JSON rendering.  KiWiMap::Census() lives here (not in
+// src/core/) for the same reason as DebugReport: core objects must carry no
+// obs references, so a KIWI_STATS=OFF build keeps its symbol set clean.
+#include "obs/census.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/kiwi_map.h"
+#include "core/rebalance_object.h"
+
+namespace kiwi::obs {
+
+namespace {
+
+void Append(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+}
+
+void AppendHist(std::string& out, const char* name,
+                const std::array<std::uint64_t, ChunkCensus::kDecileBuckets>&
+                    hist) {
+  Append(out, "\"%s\":[", name);
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    Append(out, "%llu%s", (unsigned long long)hist[i],
+           i + 1 < hist.size() ? "," : "");
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::string ChunkCensus::ToJson() const {
+  std::string out;
+  out += "{";
+  Append(out,
+         "\"chunks\":%llu,\"infant\":%llu,\"normal\":%llu,\"frozen\":%llu,"
+         "\"engaged\":%llu,",
+         (unsigned long long)chunks, (unsigned long long)infant,
+         (unsigned long long)normal, (unsigned long long)frozen,
+         (unsigned long long)engaged);
+  Append(out, "\"allocated_cells\":%llu,\"batched_cells\":%llu,",
+         (unsigned long long)allocated_cells,
+         (unsigned long long)batched_cells);
+  AppendHist(out, "fill_hist", fill_hist);
+  out += ",";
+  AppendHist(out, "batched_hist", batched_hist);
+  Append(out, ",\"age_min_ns\":%llu,\"age_max_ns\":%llu,\"age_mean_ns\":%.17g}",
+         (unsigned long long)age_min_ns, (unsigned long long)age_max_ns,
+         age_mean_ns);
+  return out;
+}
+
+}  // namespace kiwi::obs
+
+namespace kiwi::core {
+
+obs::ChunkCensus KiWiMap::Census() {
+  obs::ChunkCensus census;
+  const std::uint64_t now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  // The guard pins every chunk we can reach; concurrent rebalances may
+  // splice sectors mid-walk, so the numbers are a consistent-enough estimate
+  // (exact when quiescent), like Report().
+  reclaim::EbrGuard guard(ebr_);
+  double age_sum = 0;
+  for (Chunk* c = sentinel_->Next(); c != nullptr; c = c->Next()) {
+    census.chunks++;
+    switch (c->status.load(std::memory_order_acquire)) {
+      case Chunk::Status::kInfant: census.infant++; break;
+      case Chunk::Status::kNormal: census.normal++; break;
+      case Chunk::Status::kFrozen: census.frozen++; break;
+      case Chunk::Status::kSentinel: break;  // unreachable: walk skips it
+    }
+    if (RebalanceObject* ro = c->ro.load(std::memory_order_acquire)) {
+      if (!ro->done.load(std::memory_order_acquire)) census.engaged++;
+    }
+    const std::uint64_t allocated = c->AllocatedCells();
+    census.allocated_cells += allocated;
+    census.batched_cells += c->batched_count;
+    const double fill =
+        c->capacity > 0 ? static_cast<double>(allocated) / c->capacity : 0;
+    census.fill_hist[obs::ChunkCensus::DecileFor(fill)]++;
+    const double batched_ratio =
+        allocated > 0 ? static_cast<double>(c->batched_count) / allocated : 1.0;
+    census.batched_hist[obs::ChunkCensus::DecileFor(batched_ratio)]++;
+    const std::uint64_t age = now_ns > c->birth_ns ? now_ns - c->birth_ns : 0;
+    if (census.chunks == 1 || age < census.age_min_ns) {
+      census.age_min_ns = age;
+    }
+    if (age > census.age_max_ns) census.age_max_ns = age;
+    age_sum += static_cast<double>(age);
+  }
+  if (census.chunks > 0) {
+    census.age_mean_ns = age_sum / static_cast<double>(census.chunks);
+  }
+  return census;
+}
+
+}  // namespace kiwi::core

@@ -1,0 +1,68 @@
+// Chunk-health census: one O(chunks) epoch-guarded walk of the chunk list,
+// summarizing per-chunk structural health — fill factor, sorted-prefix vs
+// linked-suffix ratio, rebalance state, age — into fixed-bucket distribution
+// histograms cheap enough to ship on every metrics-pump tick.
+//
+// The census is a *structure* observation like DebugReport's gauges: it is
+// live regardless of KIWI_STATS (nothing here touches the counter shards).
+// KiWiMap::Census() is defined in census.cpp so core objects stay obs-free.
+//
+// The JSON schema emitted by ToJson() is documented in docs/OBSERVABILITY.md
+// ("The chunk-health census"); change them together.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace kiwi::obs {
+
+/// One walk's aggregate.  All ratios are per-chunk values bucketed into
+/// deciles: bucket i of fill_hist counts chunks with fill factor in
+/// [i/10, (i+1)/10), except the last bucket which is closed at 1.0 (and
+/// absorbs overfull chunks whose k_counter ran past capacity).
+struct ChunkCensus {
+  static constexpr std::size_t kDecileBuckets = 10;
+
+  // ---- population -------------------------------------------------------
+  std::uint64_t chunks = 0;  // data chunks walked (sentinel excluded)
+  std::uint64_t infant = 0;  // status counts at observation time...
+  std::uint64_t normal = 0;
+  std::uint64_t frozen = 0;
+  /// Chunks engaged in a still-running rebalance (ro set, not done): the
+  /// "pending rebalance" population.  Frozen-but-done chunks are retired
+  /// stragglers a guard still pins; they count under `frozen` only.
+  std::uint64_t engaged = 0;
+
+  // ---- cells -------------------------------------------------------------
+  std::uint64_t allocated_cells = 0;  // cells handed out across chunks
+  std::uint64_t batched_cells = 0;    // cells in binary-searchable prefixes
+
+  // ---- distributions ------------------------------------------------------
+  /// Fill factor per chunk (allocated / capacity), deciles.
+  std::array<std::uint64_t, kDecileBuckets> fill_hist{};
+  /// Sorted-prefix share per chunk (batched / allocated; empty chunks count
+  /// as fully batched), deciles.  A left-leaning distribution means lookups
+  /// are degenerating into linear list walks and rebalance is overdue.
+  std::array<std::uint64_t, kDecileBuckets> batched_hist{};
+
+  /// Chunk age (steady-clock ns since Chunk::Create).  Age extremes spot
+  /// both churn (max ≈ 0: nothing survives) and stagnation (a hot chunk
+  /// that never rebalances).
+  std::uint64_t age_min_ns = 0;
+  std::uint64_t age_max_ns = 0;
+  double age_mean_ns = 0;
+
+  /// Decile index (0..9) for a ratio in [0, 1]; out-of-range clamps.
+  static std::size_t DecileFor(double ratio) {
+    if (ratio <= 0) return 0;
+    if (ratio >= 1) return kDecileBuckets - 1;
+    return static_cast<std::size_t>(ratio * kDecileBuckets);
+  }
+
+  /// One-line JSON object (no trailing newline); schema in
+  /// docs/OBSERVABILITY.md.
+  std::string ToJson() const;
+};
+
+}  // namespace kiwi::obs

@@ -71,6 +71,21 @@ std::string DebugReport::ToText() const {
          (unsigned long long)c.chunks_created,
          (unsigned long long)c.chunks_retired);
   Append(out,
+         "  put_link_retries=%llu ppa_publish_fails=%llu "
+         "cell_alloc_overflows=%llu locate_restarts=%llu\n",
+         (unsigned long long)c.put_link_retries,
+         (unsigned long long)c.ppa_publish_fails,
+         (unsigned long long)c.cell_alloc_overflows,
+         (unsigned long long)c.locate_restarts);
+  Append(out,
+         "  engage_cas_fails=%llu freeze_cas_retries=%llu splice_retries=%llu "
+         "splice_helps=%llu index_cas_retries=%llu\n",
+         (unsigned long long)c.engage_cas_fails,
+         (unsigned long long)c.freeze_cas_retries,
+         (unsigned long long)c.splice_retries,
+         (unsigned long long)c.splice_helps,
+         (unsigned long long)c.index_cas_retries);
+  Append(out,
          " latency (ns; put/get/scan sampled 1 in %u, rebalance exhaustive):\n",
          1u << StatsRegistry::kSampleShift);
   for (std::size_t i = 0; i < kLatencyCount; ++i) {
@@ -92,19 +107,24 @@ std::string DebugReport::ToText() const {
          gauges.batched_ratio);
   Append(out,
          "  psa_active=%llu snapshot_pins=%llu ebr_pending=%llu "
-         "ebr_epoch=%llu global_version=%llu memory_bytes=%llu\n",
+         "ebr_pending_bytes=%llu ebr_epoch=%llu ebr_epoch_lag=%llu "
+         "global_version=%llu memory_bytes=%llu\n",
          (unsigned long long)gauges.psa_active,
          (unsigned long long)gauges.snapshot_pins,
          (unsigned long long)gauges.ebr_pending,
+         (unsigned long long)gauges.ebr_pending_bytes,
          (unsigned long long)gauges.ebr_epoch,
+         (unsigned long long)gauges.ebr_epoch_lag,
          (unsigned long long)gauges.global_version,
          (unsigned long long)gauges.memory_bytes);
   Append(out,
          "  pool_hits=%llu pool_misses=%llu pool_recycled=%llu "
-         "pool_live_bytes=%llu pool_pooled_bytes=%llu\n",
+         "pool_class_retries=%llu pool_live_bytes=%llu "
+         "pool_pooled_bytes=%llu\n",
          (unsigned long long)gauges.pool_hits,
          (unsigned long long)gauges.pool_misses,
          (unsigned long long)gauges.pool_recycled,
+         (unsigned long long)gauges.pool_class_retries,
          (unsigned long long)gauges.pool_live_bytes,
          (unsigned long long)gauges.pool_pooled_bytes);
   return out;
@@ -120,25 +140,13 @@ std::string DebugReport::ToJson() const {
     Append(out, "\"%s\":%llu%s", name, (unsigned long long)value,
            last ? "" : ",");
   };
+  // The counter object is generated from the canonical field list, so the
+  // JSON order *is* KIWI_OBS_COUNTER_FIELDS order by construction.
   out += ",\"counters\":{";
-  field("puts", c.puts);
-  field("removes", c.removes);
-  field("gets", c.gets);
-  field("get_hits", c.get_hits);
-  field("scans", c.scans);
-  field("scan_keys", c.scan_keys);
-  field("snapshots", c.snapshots);
-  field("put_batches", c.put_batches);
-  field("batch_entries", c.batch_entries);
-  field("batch_bulk_entries", c.batch_bulk_entries);
-  field("rebalances", c.rebalances);
-  field("rebalance_wins", c.rebalance_wins);
-  field("put_restarts", c.put_restarts);
-  field("chunks_created", c.chunks_created);
-  field("chunks_retired", c.chunks_retired);
-  field("puts_piggybacked", c.puts_piggybacked);
-  field("puts_helped", c.puts_helped);
-  field("scans_helped", c.scans_helped, /*last=*/true);
+#define KIWI_OBS_EMIT_COUNTER(name) field(#name, c.name);
+  KIWI_OBS_COUNTER_FIELDS(KIWI_OBS_EMIT_COUNTER)
+#undef KIWI_OBS_EMIT_COUNTER
+  out.pop_back();  // trailing comma from the last field
   out += "},\"latency_ns\":{";
   for (std::size_t i = 0; i < kLatencyCount; ++i) {
     const LatencySummary& s = latency[i];
@@ -151,24 +159,13 @@ std::string DebugReport::ToJson() const {
     Append(out, "\"mean\":%.17g}%s", s.mean_ns,
            i + 1 < kLatencyCount ? "," : "");
   }
+  // Integer gauges in KIWI_OBS_GAUGE_FIELDS order, then the two doubles.
   out += "},\"gauges\":{";
-  field("chunks", gauges.chunks);
-  field("allocated_cells", gauges.allocated_cells);
-  field("batched_cells", gauges.batched_cells);
-  Append(out, "\"avg_fill\":%.17g,\"batched_ratio\":%.17g,", gauges.avg_fill,
+#define KIWI_OBS_EMIT_GAUGE(name) field(#name, gauges.name);
+  KIWI_OBS_GAUGE_FIELDS(KIWI_OBS_EMIT_GAUGE)
+#undef KIWI_OBS_EMIT_GAUGE
+  Append(out, "\"avg_fill\":%.17g,\"batched_ratio\":%.17g}}", gauges.avg_fill,
          gauges.batched_ratio);
-  field("psa_active", gauges.psa_active);
-  field("snapshot_pins", gauges.snapshot_pins);
-  field("ebr_pending", gauges.ebr_pending);
-  field("ebr_epoch", gauges.ebr_epoch);
-  field("global_version", gauges.global_version);
-  field("memory_bytes", gauges.memory_bytes);
-  field("pool_hits", gauges.pool_hits);
-  field("pool_misses", gauges.pool_misses);
-  field("pool_recycled", gauges.pool_recycled);
-  field("pool_live_bytes", gauges.pool_live_bytes);
-  field("pool_pooled_bytes", gauges.pool_pooled_bytes, /*last=*/true);
-  out += "}}";
   return out;
 }
 
@@ -204,13 +201,16 @@ obs::DebugReport KiWiMap::DebugReport() {
     }
   }
   report.gauges.ebr_pending = ebr_.PendingCount();
+  report.gauges.ebr_pending_bytes = ebr_.PendingBytes();
   report.gauges.ebr_epoch = ebr_.GlobalEpoch();
+  report.gauges.ebr_epoch_lag = ebr_.EpochLag();
   report.gauges.global_version = gv_.Load();
   report.gauges.memory_bytes = MemoryFootprint();
   const reclaim::SlabPool::Stats pool = pool_.GetStats();
   report.gauges.pool_hits = pool.hits;
   report.gauges.pool_misses = pool.misses;
   report.gauges.pool_recycled = pool.recycled;
+  report.gauges.pool_class_retries = pool.class_cas_retries;
   report.gauges.pool_live_bytes = pool.live_bytes;
   report.gauges.pool_pooled_bytes = pool.pooled_bytes;
   return report;

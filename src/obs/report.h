@@ -13,6 +13,31 @@
 
 #include "obs/stats_registry.h"
 
+// Every integer DebugReport gauge, in the canonical (wire/JSON) order.  The
+// two double gauges (avg_fill, batched_ratio) are emitted after the integer
+// fields and are handled explicitly by the renderers.
+// Like KIWI_OBS_COUNTER_FIELDS, this single list drives ToJson, the metrics
+// pump, and the Prometheus gauge names (kiwi_<name>) — a field added to
+// DebugReport::Gauges without a row here fails to compile in report.cpp.
+#define KIWI_OBS_GAUGE_FIELDS(X) \
+  X(chunks)                      \
+  X(allocated_cells)             \
+  X(batched_cells)               \
+  X(psa_active)                  \
+  X(snapshot_pins)               \
+  X(ebr_pending)                 \
+  X(ebr_pending_bytes)           \
+  X(ebr_epoch)                   \
+  X(ebr_epoch_lag)               \
+  X(global_version)              \
+  X(memory_bytes)                \
+  X(pool_hits)                   \
+  X(pool_misses)                 \
+  X(pool_recycled)               \
+  X(pool_class_retries)          \
+  X(pool_live_bytes)             \
+  X(pool_pooled_bytes)
+
 namespace kiwi::obs {
 
 /// Percentile digest of one latency histogram, in nanoseconds.
@@ -48,7 +73,9 @@ struct DebugReport {
     std::uint64_t psa_active = 0;       // in-flight transient scan entries
     std::uint64_t snapshot_pins = 0;    // open Snapshot-view read points
     std::uint64_t ebr_pending = 0;      // retired, not-yet-freed objects
+    std::uint64_t ebr_pending_bytes = 0;  // bytes in EBR limbo
     std::uint64_t ebr_epoch = 0;        // current global epoch
+    std::uint64_t ebr_epoch_lag = 0;    // epoch minus slowest active guard
     std::uint64_t global_version = 0;   // GV (scans performed + 1)
     std::uint64_t memory_bytes = 0;     // chunks + index footprint
     // Slab-pool recycling (see src/reclaim/pool.h).  hits/misses are
@@ -57,6 +84,7 @@ struct DebugReport {
     std::uint64_t pool_hits = 0;         // allocations served from the pool
     std::uint64_t pool_misses = 0;       // allocations that went to the OS
     std::uint64_t pool_recycled = 0;     // slabs captured for reuse
+    std::uint64_t pool_class_retries = 0;  // lost size-class registry CASes
     std::uint64_t pool_live_bytes = 0;   // slab bytes handed out, unreturned
     std::uint64_t pool_pooled_bytes = 0;  // idle slab bytes held for reuse
   } gauges;

@@ -32,49 +32,55 @@
 
 namespace kiwi::obs {
 
+// Every OpCounters field, in the canonical (wire/JSON) order.  This single
+// list generates the struct fields, operator+=, the DebugReport JSON field
+// order, the metrics-pump delta/rate maps, and the Prometheus metric names
+// (kiwi_<name>_total), so the schema cannot drift between them.  Append new
+// counters at the end of their section; docs/OBSERVABILITY.md's counter
+// table is pinned against this list by tests/export_test.cpp.
+#define KIWI_OBS_COUNTER_FIELDS(X)                                          \
+  /* ---- client operation volume ------------------------------------- */ \
+  X(puts)               /* Put() calls (excl. removes) */                   \
+  X(removes)            /* Remove() calls (tombstone puts) */               \
+  X(gets)               /* Get() calls */                                   \
+  X(get_hits)           /* gets that found a live value */                  \
+  X(scans)              /* Scan() calls */                                  \
+  X(scan_keys)          /* pairs yielded across all scans */                \
+  X(snapshots)          /* Snapshot views opened */                         \
+  X(put_batches)        /* PutBatch() calls */                              \
+  X(batch_entries)      /* entries submitted (pre-dedup) */                 \
+  X(batch_bulk_entries) /* entries installed via bulk build */              \
+  /* ---- KiWi internals (superset of the legacy KiWiStats) ----------- */ \
+  X(rebalances)         /* rebalance executions (incl. helpers) */          \
+  X(rebalance_wins)     /* replace-stage splice-CAS wins */                 \
+  X(put_restarts)       /* puts restarted by rebalance */                   \
+  X(chunks_created)                                                         \
+  X(chunks_retired)                                                         \
+  X(puts_piggybacked)   /* puts completed inside a rebalance */             \
+  X(puts_helped)        /* put version installed by a scan/get */           \
+  X(scans_helped)       /* scan version installed by a rebalance */         \
+  /* ---- contention: retries/failures on the hot CAS loops ----------- */ \
+  X(put_link_retries)   /* put phase-3 list-link CAS retries */             \
+  X(ppa_publish_fails)  /* PPA publish CAS lost to freeze/help */           \
+  X(cell_alloc_overflows) /* put saw a full cell/value array */             \
+  X(locate_restarts)    /* LocateChunk restarted on a retired chunk */      \
+  X(engage_cas_fails)   /* rebalance stage-1 engagement CAS losses */       \
+  X(freeze_cas_retries) /* PPA-freeze CAS retries (stage 2) */              \
+  X(splice_retries)     /* replace-stage splice loop re-iterations */       \
+  X(splice_helps)       /* replace-stage recursive helps of a stuck pred */ \
+  X(index_cas_retries)  /* normalize-stage index PutConditional retries */
+
 /// Monotone operation counters.  One instance per thread shard; Aggregate()
 /// sums them.  Documented field-by-field in docs/OBSERVABILITY.md.
 struct OpCounters {
-  // ---- client operation volume ----------------------------------------
-  std::uint64_t puts = 0;        // Put() calls (excl. removes)
-  std::uint64_t removes = 0;     // Remove() calls (tombstone puts)
-  std::uint64_t gets = 0;        // Get() calls
-  std::uint64_t get_hits = 0;    // gets that found a live value
-  std::uint64_t scans = 0;       // Scan() calls
-  std::uint64_t scan_keys = 0;   // pairs yielded across all scans
-  std::uint64_t snapshots = 0;   // Snapshot views opened
-  std::uint64_t put_batches = 0;        // PutBatch() calls
-  std::uint64_t batch_entries = 0;      // entries submitted (pre-dedup)
-  std::uint64_t batch_bulk_entries = 0; // entries installed via bulk build
-  // ---- KiWi internals (superset of the legacy KiWiStats) ---------------
-  std::uint64_t rebalances = 0;        // rebalance executions (incl. helpers)
-  std::uint64_t rebalance_wins = 0;    // replace-stage splice-CAS wins
-  std::uint64_t put_restarts = 0;      // puts restarted by rebalance
-  std::uint64_t chunks_created = 0;
-  std::uint64_t chunks_retired = 0;
-  std::uint64_t puts_piggybacked = 0;  // puts completed inside a rebalance
-  std::uint64_t puts_helped = 0;       // put version installed by a scan/get
-  std::uint64_t scans_helped = 0;      // scan version installed by a rebalance
+#define KIWI_OBS_DECLARE_FIELD(name) std::uint64_t name = 0;
+  KIWI_OBS_COUNTER_FIELDS(KIWI_OBS_DECLARE_FIELD)
+#undef KIWI_OBS_DECLARE_FIELD
 
   OpCounters& operator+=(const OpCounters& other) {
-    puts += other.puts;
-    removes += other.removes;
-    gets += other.gets;
-    get_hits += other.get_hits;
-    scans += other.scans;
-    scan_keys += other.scan_keys;
-    snapshots += other.snapshots;
-    put_batches += other.put_batches;
-    batch_entries += other.batch_entries;
-    batch_bulk_entries += other.batch_bulk_entries;
-    rebalances += other.rebalances;
-    rebalance_wins += other.rebalance_wins;
-    put_restarts += other.put_restarts;
-    chunks_created += other.chunks_created;
-    chunks_retired += other.chunks_retired;
-    puts_piggybacked += other.puts_piggybacked;
-    puts_helped += other.puts_helped;
-    scans_helped += other.scans_helped;
+#define KIWI_OBS_ADD_FIELD(name) name += other.name;
+    KIWI_OBS_COUNTER_FIELDS(KIWI_OBS_ADD_FIELD)
+#undef KIWI_OBS_ADD_FIELD
     return *this;
   }
 };

@@ -46,7 +46,7 @@ void Ebr::Exit(std::size_t slot) {
   }
 }
 
-void Ebr::Retire(void* object, Deleter deleter) {
+void Ebr::Retire(void* object, Deleter deleter, std::size_t bytes) {
   // The object is already unreachable for new operations but guards may
   // still traverse it; a stall here stretches the window between logical
   // and physical retirement (grace-period + slab-recycling stress).
@@ -55,8 +55,9 @@ void Ebr::Retire(void* object, Deleter deleter) {
   RetireBuffer& buffer = buffers_[slot];
   const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
   KIWI_TRACE(kEbrRetire, reinterpret_cast<std::uintptr_t>(object), epoch);
-  buffer.items.push_back(Retired{object, deleter, epoch});
+  buffer.items.push_back(Retired{object, deleter, epoch, bytes});
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (bytes > 0) pending_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (++buffer.since_collect >= kCollectPeriod) {
     buffer.since_collect = 0;
     Collect();
@@ -93,6 +94,7 @@ std::size_t Ebr::Collect() {
   TryAdvanceEpoch();
   const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
   std::size_t freed = 0;
+  std::size_t freed_bytes = 0;
   if (now >= 2) {
     const std::uint64_t safe = now - 2;  // retired at epoch <= safe is free-able
     std::size_t write = 0;
@@ -101,6 +103,7 @@ std::size_t Ebr::Collect() {
       if (r.epoch <= safe) {
         r.deleter(r.object);
         ++freed;
+        freed_bytes += r.bytes;
       } else {
         global_retired_[write++] = r;
       }
@@ -108,6 +111,9 @@ std::size_t Ebr::Collect() {
     global_retired_.resize(write);
   }
   pending_.fetch_sub(freed, std::memory_order_relaxed);
+  if (freed_bytes > 0) {
+    pending_bytes_.fetch_sub(freed_bytes, std::memory_order_relaxed);
+  }
   if (freed > 0) {
     KIWI_TRACE(kEbrCollect, freed, pending_.load(std::memory_order_relaxed));
   }
@@ -131,11 +137,24 @@ std::size_t Ebr::CollectAllQuiescent() {
   }
   global_retired_.clear();
   pending_.store(0, std::memory_order_relaxed);
+  pending_bytes_.store(0, std::memory_order_relaxed);
   return freed;
 }
 
 std::size_t Ebr::PendingCount() const {
   return pending_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Ebr::EpochLag() const {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  std::uint64_t slowest = e;
+  const std::size_t high_water = ThreadRegistry::HighWater();
+  for (std::size_t i = 0; i < high_water; ++i) {
+    const std::uint64_t announced =
+        slots_[i].announced.load(std::memory_order_acquire);
+    if (announced != kInactive && announced < slowest) slowest = announced;
+  }
+  return e - slowest;
 }
 
 }  // namespace kiwi::reclaim

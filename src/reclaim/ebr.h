@@ -53,8 +53,11 @@ class Ebr {
 
   /// Hand `object` to the reclaimer.  Must be called inside a guard (the
   /// object must already be unreachable for new operations).  `deleter` is
-  /// invoked once it is provably unobservable.
-  void Retire(void* object, Deleter deleter);
+  /// invoked once it is provably unobservable.  `bytes` (optional) is the
+  /// object's footprint, accumulated into PendingBytes() while the object
+  /// sits in limbo — pass it where known so operators can see reclamation
+  /// stalls in bytes, not just object counts.
+  void Retire(void* object, Deleter deleter, std::size_t bytes = 0);
 
   /// Convenience: retire a typed object deleted with `delete`.
   template <typename T>
@@ -75,10 +78,22 @@ class Ebr {
   /// Diagnostics: objects retired but not yet freed.
   std::size_t PendingCount() const;
 
+  /// Diagnostics: bytes retired but not yet freed (sum of the `bytes`
+  /// arguments of pending Retire calls; objects retired without a size
+  /// contribute zero).
+  std::size_t PendingBytes() const {
+    return pending_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Diagnostics: current global epoch.
   std::uint64_t GlobalEpoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }
+
+  /// Diagnostics: how far the slowest active guard trails the global epoch
+  /// (0 when no guard is active or all are current).  A lag that stays >= 1
+  /// across samples means a stalled reader is pinning reclamation.
+  std::uint64_t EpochLag() const;
 
  private:
   friend class EbrGuard;
@@ -87,6 +102,7 @@ class Ebr {
     void* object;
     Deleter deleter;
     std::uint64_t epoch;
+    std::size_t bytes;
   };
 
   struct alignas(kCacheLineSize) Slot {
@@ -120,6 +136,7 @@ class Ebr {
   std::atomic_flag collect_lock_ = ATOMIC_FLAG_INIT;
   std::vector<Retired> global_retired_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> pending_bytes_{0};
 };
 
 }  // namespace kiwi::reclaim

@@ -50,6 +50,7 @@ std::size_t SlabPool::ClassFor(std::size_t rounded, bool create) {
               current, rounded, std::memory_order_acq_rel)) {
         return i;
       }
+      class_cas_retries_.fetch_add(1, std::memory_order_relaxed);
       if (current == rounded) return i;  // lost the race to the same size
     }
   }
@@ -180,6 +181,7 @@ SlabPool::Stats SlabPool::GetStats() const {
   stats.spills = spills_.load(std::memory_order_relaxed);
   stats.unpooled = unpooled_.load(std::memory_order_relaxed);
   stats.trims = trims_.load(std::memory_order_relaxed);
+  stats.class_cas_retries = class_cas_retries_.load(std::memory_order_relaxed);
   stats.live_bytes = live_bytes_.load(std::memory_order_relaxed);
   stats.pooled_bytes = pooled_bytes_.load(std::memory_order_relaxed);
   return stats;

@@ -77,6 +77,7 @@ class SlabPool {
     std::uint64_t spills = 0;    // thread-cache overflows to the spill list
     std::uint64_t unpooled = 0;  // ops on sizes beyond the class table
     std::uint64_t trims = 0;     // slabs released to the OS by Trim()
+    std::uint64_t class_cas_retries = 0;  // lost size-class registration CASes
     std::uint64_t live_bytes = 0;    // handed out and not yet returned
     std::uint64_t pooled_bytes = 0;  // idle in caches + spill lists
   };
@@ -130,6 +131,7 @@ class SlabPool {
   std::atomic<std::uint64_t> spills_{0};
   std::atomic<std::uint64_t> unpooled_{0};
   std::atomic<std::uint64_t> trims_{0};
+  std::atomic<std::uint64_t> class_cas_retries_{0};
   std::atomic<std::uint64_t> live_bytes_{0};
   std::atomic<std::uint64_t> pooled_bytes_{0};
 };
