@@ -1,0 +1,145 @@
+// Single-threaded byte-map operation latencies via google-benchmark: put,
+// get, remove, scan over KiWiByteMap with 16- and 64-byte keys and
+// mixed-length values.  The byte-layout companion to micro_ops.cpp — a
+// regression microbench for the arena hot path, not a paper figure.
+//
+// Keys are fixed-width ("k:" + zero-padded decimal id + 'x' padding), so
+// for small ids the first 8 bytes collide across most keys and comparisons
+// routinely fall through the cell's prefix to the arena memcmp — the
+// byte layout's distinctive cost, deliberately kept on the measured path.
+// Values cycle through five lengths (0..120 bytes) so arena claims and
+// rebalance compaction see realistic size variance rather than one stride.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/byte_map.h"
+#include "common/random.h"
+
+using namespace kiwi;
+
+namespace {
+
+constexpr std::int64_t kPrefill = 20000;
+constexpr std::uint64_t kKeyRange = 2 * kPrefill;
+
+// Mixed value lengths: empty, small, one cache line, a couple, a few.
+constexpr std::size_t kValueLens[] = {0, 8, 24, 56, 120};
+
+std::string MakeKey(std::uint64_t id, std::size_t key_len) {
+  char digits[24];
+  std::snprintf(digits, sizeof digits, "k:%012llu",
+                static_cast<unsigned long long>(id));
+  std::string key(digits);
+  key.resize(key_len, 'x');
+  return key;
+}
+
+std::string MakeValue(std::uint64_t id) {
+  return std::string(kValueLens[id % (sizeof kValueLens / sizeof *kValueLens)],
+                     static_cast<char>('a' + id % 26));
+}
+
+// One shared key/value pool per key length: key construction is not what
+// the bench measures, so it stays out of the timed loop.
+struct Corpus {
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+};
+
+const Corpus& PoolFor(std::size_t key_len) {
+  static Corpus pools[2];
+  Corpus& pool = pools[key_len == 16 ? 0 : 1];
+  if (pool.keys.empty()) {
+    pool.keys.reserve(kKeyRange);
+    pool.values.reserve(kKeyRange);
+    for (std::uint64_t id = 0; id < kKeyRange; ++id) {
+      pool.keys.push_back(MakeKey(id, key_len));
+      pool.values.push_back(MakeValue(id));
+    }
+  }
+  return pool;
+}
+
+core::KiWiConfig ConfigFor(std::size_t key_len) {
+  core::KiWiConfig config;
+  // Size the arena near the mean entry (key + ~42B mean value) so neither
+  // the cell array nor the arena strands the other (api/byte_map.h).
+  config.bytes.arena_bytes_per_cell = static_cast<std::uint32_t>(key_len + 64);
+  return config;
+}
+
+void Prefill(api::KiWiByteMap& map, const Corpus& pool, Xoshiro256& rng) {
+  for (std::int64_t i = 0; i < kPrefill; ++i) {
+    const std::uint64_t id = rng.NextBounded(kKeyRange);
+    map.Put(pool.keys[id], pool.values[id]);
+  }
+}
+
+void BM_Put(benchmark::State& state) {
+  const std::size_t key_len = static_cast<std::size_t>(state.range(0));
+  const Corpus& pool = PoolFor(key_len);
+  api::KiWiByteMap map(ConfigFor(key_len));
+  Xoshiro256 rng(1);
+  Prefill(map, pool, rng);
+  for (auto _ : state) {
+    const std::uint64_t id = rng.NextBounded(kKeyRange);
+    map.Put(pool.keys[id], pool.values[id]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Get(benchmark::State& state) {
+  const std::size_t key_len = static_cast<std::size_t>(state.range(0));
+  const Corpus& pool = PoolFor(key_len);
+  api::KiWiByteMap map(ConfigFor(key_len));
+  Xoshiro256 rng(2);
+  Prefill(map, pool, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Get(pool.keys[rng.NextBounded(kKeyRange)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Remove(benchmark::State& state) {
+  const std::size_t key_len = static_cast<std::size_t>(state.range(0));
+  const Corpus& pool = PoolFor(key_len);
+  api::KiWiByteMap map(ConfigFor(key_len));
+  Xoshiro256 rng(3);
+  Prefill(map, pool, rng);
+  for (auto _ : state) {
+    const std::uint64_t id = rng.NextBounded(kKeyRange);
+    map.Remove(pool.keys[id]);
+    map.Put(pool.keys[id], pool.values[id]);  // keep the dataset size stable
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Scan(benchmark::State& state) {
+  const std::size_t key_len = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t range = static_cast<std::uint64_t>(state.range(1));
+  const Corpus& pool = PoolFor(key_len);
+  api::KiWiByteMap map(ConfigFor(key_len));
+  Xoshiro256 rng(4);
+  Prefill(map, pool, rng);
+  std::uint64_t keys = 0;
+  const auto yield = [&keys](std::string_view, std::string_view) { ++keys; };
+  for (auto _ : state) {
+    const std::uint64_t from = rng.NextBounded(kKeyRange - range);
+    map.Scan(pool.keys[from], pool.keys[from + range - 1], yield);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys));
+}
+
+}  // namespace
+
+// Names parallel micro_ops ("put/kKiWi" there, "put/bytes/16" here) so
+// bench_smoke folds both into one metrics namespace.
+BENCHMARK(BM_Put)->Name("put/bytes")->Arg(16)->Arg(64);
+BENCHMARK(BM_Get)->Name("get/bytes")->Arg(16)->Arg(64);
+BENCHMARK(BM_Remove)->Name("remove/bytes")->Arg(16)->Arg(64);
+BENCHMARK(BM_Scan)->Name("scan/bytes")->Args({16, 64})->Args({64, 64});
+
+BENCHMARK_MAIN();

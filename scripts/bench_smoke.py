@@ -97,6 +97,33 @@ def run_micro_ops(build_dir):
     return metrics
 
 
+def run_micro_ops_bytes(build_dir):
+    """micro_ops_bytes (byte-key map) -> {name: ops_per_second}.
+
+    The byte layout's arena hot path regresses independently of the
+    fixed-width map (prefix-tie memcmp, arena claims, compaction), so it
+    gets its own gated metrics namespace."""
+    out_path = "micro_ops_bytes_ci.json"
+    cmd = [
+        os.path.join(build_dir, "bench", "micro_ops_bytes"),
+        "--benchmark_format=json",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    env = dict(os.environ, **SMOKE_ENV)
+    subprocess.run(cmd, check=True, env=env)
+    with open(out_path) as f:
+        report = json.load(f)
+    metrics = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ns = bench["real_time"]
+        if ns > 0:
+            metrics[f"micro_ops_bytes/{bench['name']}"] = 1e9 / ns
+    return metrics
+
+
 def run_fig3(build_dir, obs):
     """fig3_basic kiwi rows -> {name: Mkeys_per_second}."""
     cmd = [
@@ -178,6 +205,7 @@ def main():
     metrics = {}
     obs = {}
     metrics.update(run_micro_ops(args.build))
+    metrics.update(run_micro_ops_bytes(args.build))
     metrics.update(run_fig3(args.build, obs))
     metrics.update(run_fig_ingest(args.build, obs))
 

@@ -1,11 +1,14 @@
 // Core type and constant definitions shared by every kiwi module.
 //
-// The paper evaluates (integer, integer) pairs; we follow it with fixed-width
-// 64-bit keys and values.  Values go through a level of indirection inside a
-// chunk (the `valPtr` of Algorithm 1) so the tie-breaking rule between puts
-// with equal versions ("break ties by valPtr") is expressible exactly as in
-// the paper, and so variable-length payloads can be added without changing
-// the algorithm.
+// The paper evaluates (integer, integer) pairs; the default KiWiMap follows
+// it with fixed-width 64-bit keys and values.  Values go through a level of
+// indirection inside a chunk (the `valPtr` of Algorithm 1) so the
+// tie-breaking rule between puts with equal versions ("break ties by
+// valPtr") is expressible exactly as in the paper.  Variable-length byte
+// keys/values are a separate layout, not a payload swap behind valPtr: cells
+// stay fixed-width holding an order-preserving 8-byte prefix plus
+// (offset, length) into a per-chunk byte arena, and `v` slots hold
+// (offset, length) — see core/layout.h (ByteLayout) and api/byte_map.h.
 #pragma once
 
 #include <cstddef>
@@ -22,7 +25,10 @@ using Value = std::int64_t;
 using Version = std::uint64_t;
 
 /// The smallest representable key is reserved for the sentinel head chunk
-/// (minKey = -inf in the paper); user keys must be strictly greater.
+/// (minKey = -inf in the paper); user keys must be strictly greater.  The
+/// byte layout reserves the analogous bottom of its order — the empty
+/// string — as its sentinel min key, so byte user keys must be non-empty
+/// (ByteLayout::SentinelMinKey / IsUserKey in core/layout.h).
 inline constexpr Key kMinKeySentinel = std::numeric_limits<Key>::min();
 /// Smallest key a user may insert.
 inline constexpr Key kMinUserKey = kMinKeySentinel + 1;

@@ -1,269 +1,39 @@
 #include "core/chunk.h"
 
-#include <algorithm>
-#include <chrono>
-#include <memory>
-#include <new>
+#include <type_traits>
 
-#include "common/assert.h"
-#include "common/thread_registry.h"
 #include "core/rebalance_object.h"
-#include "reclaim/pool.h"
 
 namespace kiwi::core {
 
-// The slab layout computes `k`/`v` as raw offsets past the header; cells
-// are constructed by placement-new below, so they must not need cleanup
-// beyond the slab free itself.
+// The slab layout computes `k`/`v`/`a` as raw offsets past the header; cells
+// are constructed by placement-new, so they must not need cleanup beyond the
+// slab free itself.
 static_assert(std::is_trivially_destructible_v<Chunk::Cell>,
               "cells live in the slab and are never destroyed individually");
 static_assert(sizeof(Chunk) % alignof(Chunk::Cell) == 0,
               "cell array must start aligned after the header");
+static_assert(
+    std::is_trivially_destructible_v<ChunkT<ByteLayout>::Cell>,
+    "cells live in the slab and are never destroyed individually");
+static_assert(sizeof(ChunkT<ByteLayout>) %
+                      alignof(ChunkT<ByteLayout>::Cell) ==
+                  0,
+              "cell array must start aligned after the header");
+// The byte cell stays fixed-width and compact: {prefix, off, len} packs to
+// 16 bytes, so a byte cell (key + version + val_ptr + next) is 32 bytes.
+static_assert(sizeof(ByteLayout::CellKey) == 16, "byte cell key grew");
+static_assert(sizeof(ByteLayout::StoredValue) == 8, "byte value slot grew");
 
-Chunk* Chunk::Create(reclaim::SlabPool& pool, Key min_key,
-                     std::uint32_t capacity, Chunk* parent, Status status,
-                     std::span<const Item> batched) {
-  void* slab = pool.Allocate(SlabBytes(capacity));
-  return new (slab) Chunk(&pool, min_key, capacity, parent, status, batched);
+template <typename Layout>
+void UnrefRebalanceObject(RebalanceObjectT<Layout>* ro) {
+  RebalanceObjectT<Layout>::Unref(ro);
 }
+template void UnrefRebalanceObject<Int64Layout>(
+    RebalanceObjectT<Int64Layout>*);
+template void UnrefRebalanceObject<ByteLayout>(RebalanceObjectT<ByteLayout>*);
 
-void Chunk::Destroy(Chunk* chunk) {
-  reclaim::SlabPool* pool = chunk->pool_;
-  const std::size_t bytes = SlabBytes(chunk->capacity);
-  chunk->~Chunk();
-  pool->Deallocate(chunk, bytes);
-}
-
-Chunk::Chunk(reclaim::SlabPool* pool, Key min_key_arg,
-             std::uint32_t capacity_arg, Chunk* parent_arg, Status status_arg,
-             std::span<const Item> batched)
-    : min_key(min_key_arg),
-      capacity(capacity_arg),
-      parent(parent_arg),
-      status(status_arg),
-      next(nullptr),
-      k_counter(1 + static_cast<std::uint32_t>(batched.size())),
-      v_counter(static_cast<std::uint32_t>(batched.size())),
-      batched_count(static_cast<std::uint32_t>(batched.size())),
-      birth_ns(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now().time_since_epoch())
-              .count())),
-      k(reinterpret_cast<Cell*>(reinterpret_cast<char*>(this) +
-                                sizeof(Chunk))),
-      v(reinterpret_cast<Value*>(reinterpret_cast<char*>(this) +
-                                 sizeof(Chunk) +
-                                 (capacity_arg + 1) * sizeof(Cell))),
-      pool_(pool) {
-  KIWI_ASSERT(batched.size() <= capacity, "batched prefix exceeds capacity");
-  // The slab tail holds raw storage: bring the cells to life (values are
-  // write-before-read, like the `new Value[n]` default-init they replace).
-  for (std::uint32_t i = 0; i <= capacity_arg; ++i) new (&k[i]) Cell();
-  std::uninitialized_default_construct_n(v, capacity_arg);
-  // Cell 0 is the list-head sentinel.
-  k[0].key = kMinKeySentinel;
-  k[0].version = kPendingVersion;  // never compared
-  k[0].next.store(batched.empty() ? kNullIdx : 1, std::memory_order_relaxed);
-  // Seed the sorted prefix: cell i holds batched[i-1] and points to v[i-1].
-  for (std::size_t i = 0; i < batched.size(); ++i) {
-    KIWI_DASSERT(i == 0 || !ItemBefore(batched[i], batched[i - 1]),
-                 "batched prefix must be sorted");
-    Cell& cell = k[i + 1];
-    cell.key = batched[i].key;
-    cell.version = batched[i].version;
-    cell.val_ptr.store(static_cast<std::int32_t>(i),
-                       std::memory_order_relaxed);
-    cell.next.store(i + 1 < batched.size() ? static_cast<std::int32_t>(i + 2)
-                                           : kNullIdx,
-                    std::memory_order_relaxed);
-    v[i] = batched[i].value;
-  }
-  for (auto& entry : ppa) entry.store(kPpaIdle, std::memory_order_relaxed);
-}
-
-Chunk::~Chunk() {
-  if (RebalanceObject* engaged = ro.load(std::memory_order_acquire)) {
-    RebalanceObject::Unref(engaged);
-  }
-}
-
-std::int32_t Chunk::BatchedPredecessor(Key key) const {
-  // Largest index in [1, batched_count] whose key is strictly below `key`
-  // (the prefix is sorted by key; equal keys sit in descending-version order
-  // but we only need a strict-lower bound here).  0 = sentinel if none.
-  std::uint32_t lo = 0;
-  std::uint32_t hi = batched_count;  // inclusive upper cell index
-  while (lo < hi) {
-    const std::uint32_t mid = lo + (hi - lo + 1) / 2;
-    if (k[mid].key < key) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
-    }
-  }
-  return static_cast<std::int32_t>(lo);
-}
-
-std::int32_t Chunk::FindCell(Key key, Version version, std::int32_t* pred,
-                             std::int32_t* succ) const {
-  return FindCellFrom(kNullIdx, key, version, pred, succ);
-}
-
-std::int32_t Chunk::FindCellFrom(std::int32_t start, Key key, Version version,
-                                 std::int32_t* pred, std::int32_t* succ) const {
-  KIWI_DASSERT(start == kNullIdx || k[start].key < key,
-               "FindCellFrom hint must precede the target key");
-  std::int32_t prev = start == kNullIdx ? BatchedPredecessor(key) : start;
-  std::int32_t curr = k[prev].next.load(std::memory_order_acquire);
-  while (curr != kNullIdx) {
-    const Cell& cell = k[curr];
-    if (cell.key > key || (cell.key == key && cell.version <= version)) break;
-    prev = curr;
-    curr = cell.next.load(std::memory_order_acquire);
-  }
-  if (pred != nullptr) *pred = prev;
-  if (succ != nullptr) *succ = curr;
-  if (curr != kNullIdx && k[curr].key == key && k[curr].version == version) {
-    return curr;
-  }
-  return kNullIdx;
-}
-
-Chunk::LatestResult Chunk::FindLatest(Key key, Version max_version) const {
-  LatestResult best;
-
-  // PPA candidates first, list second.  The order matters: a put that links
-  // its cell and then clears its PPA slot between our two passes is seen by
-  // the list pass; the reverse order could miss it in both.
-  //
-  // Entries still at ⊥ were published after our helping pass and are ordered
-  // after us; frozen entries belong to puts that will restart.
-  const std::size_t high_water = ThreadRegistry::HighWater();
-  for (std::size_t t = 0; t < high_water; ++t) {
-    const std::uint64_t word = ppa[t].load(std::memory_order_seq_cst);
-    const Version ver = PpaVer(word);
-    if (ver == kPpaVerBottom || ver == kPpaVerFrozen || ver > max_version) {
-      continue;
-    }
-    const std::uint32_t idx = PpaIdx(word);
-    if (idx == kPpaNoIdx) continue;
-    const Cell& cell = k[idx];
-    if (cell.key != key) continue;
-    const std::int32_t val_ptr = cell.val_ptr.load(std::memory_order_acquire);
-    if (!best.found || ver > best.version ||
-        (ver == best.version && val_ptr > best.val_ptr)) {
-      best.found = true;
-      best.version = ver;
-      best.val_ptr = val_ptr;
-    }
-  }
-
-  // List candidate: versions of a key are chained in descending order, so
-  // the first in-range cell is the latest visible one.
-  std::int32_t curr =
-      k[BatchedPredecessor(key)].next.load(std::memory_order_acquire);
-  while (curr != kNullIdx) {
-    const Cell& cell = k[curr];
-    if (cell.key > key) break;
-    if (cell.key == key && cell.version <= max_version) {
-      const std::int32_t val_ptr =
-          cell.val_ptr.load(std::memory_order_acquire);
-      if (!best.found || cell.version > best.version ||
-          (cell.version == best.version && val_ptr > best.val_ptr)) {
-        best.found = true;
-        best.version = cell.version;
-        best.val_ptr = val_ptr;
-      }
-      break;
-    }
-    curr = cell.next.load(std::memory_order_acquire);
-  }
-
-  if (best.found) {
-    best.value = v[best.val_ptr];
-    best.is_tombstone = (best.value == kTombstoneValue);
-  }
-  return best;
-}
-
-void Chunk::HelpPendingPuts(GlobalVersion& gv, Key from, Key to) {
-  const std::size_t high_water = ThreadRegistry::HighWater();
-  for (std::size_t t = 0; t < high_water; ++t) {
-    const std::uint64_t word = ppa[t].load(std::memory_order_seq_cst);
-    if (PpaVer(word) != kPpaVerBottom) continue;
-    const std::uint32_t idx = PpaIdx(word);
-    if (idx == kPpaNoIdx) continue;
-    const Key key = k[idx].key;
-    if (key < from || key > to) continue;
-    const Version current = gv.Load();
-    std::uint64_t expected = word;
-    // Failure means the put assigned its own version, was helped by someone
-    // else, or was frozen — all fine.
-    ppa[t].compare_exchange_strong(expected, PackPpa(current, idx),
-                                   std::memory_order_seq_cst);
-  }
-}
-
-std::uint64_t Chunk::FreezePpa() {
-  std::uint64_t retries = 0;
-  for (std::size_t t = 0; t < kMaxThreads; ++t) {
-    while (true) {
-      const std::uint64_t word = ppa[t].load(std::memory_order_seq_cst);
-      if (PpaVer(word) != kPpaVerBottom) break;  // versioned or frozen
-      std::uint64_t expected = word;
-      if (ppa[t].compare_exchange_strong(expected,
-                                         PackPpa(kPpaVerFrozen, PpaIdx(word)),
-                                         std::memory_order_seq_cst)) {
-        break;
-      }
-      ++retries;  // lost to a concurrent publish/help; re-read and retry
-    }
-  }
-  return retries;
-}
-
-void Chunk::CollectPpaItems(std::vector<Item>& out, Key from, Key to,
-                            Version max_version) const {
-  for (std::size_t t = 0; t < kMaxThreads; ++t) {
-    const std::uint64_t word = ppa[t].load(std::memory_order_seq_cst);
-    const Version ver = PpaVer(word);
-    if (ver == kPpaVerBottom || ver == kPpaVerFrozen || ver > max_version) {
-      continue;
-    }
-    const std::uint32_t idx = PpaIdx(word);
-    if (idx == kPpaNoIdx) continue;
-    const Cell& cell = k[idx];
-    if (cell.key < from || cell.key > to) continue;
-    const std::int32_t val_ptr = cell.val_ptr.load(std::memory_order_acquire);
-    out.push_back(Item{cell.key, ver, val_ptr, v[val_ptr]});
-  }
-}
-
-void Chunk::CollectItems(std::vector<Item>& out) const {
-  const std::size_t base = out.size();
-  // PPA before list (same reasoning as FindLatest): a put that links and
-  // clears between the passes must be caught by the list walk.
-  CollectPpaItems(out, kMinUserKey, kMaxUserKey, kMaxReadVersion);
-  std::int32_t curr = k[0].next.load(std::memory_order_acquire);
-  while (curr != kNullIdx) {
-    const Cell& cell = k[curr];
-    const std::int32_t val_ptr = cell.val_ptr.load(std::memory_order_acquire);
-    out.push_back(Item{cell.key, cell.version, val_ptr, v[val_ptr]});
-    curr = cell.next.load(std::memory_order_acquire);
-  }
-  std::sort(out.begin() + base, out.end(), ItemBefore);
-  // Drop exact duplicates (a completed put appears in both the list and a
-  // not-yet-cleared PPA slot) and {key, version} duplicates (the smaller
-  // valPtr lost the overwrite race).
-  const auto duplicate = [](const Item& a, const Item& b) {
-    return a.key == b.key && a.version == b.version;
-  };
-  out.erase(std::unique(out.begin() + base, out.end(), duplicate), out.end());
-}
-
-std::size_t Chunk::MemoryFootprint() const {
-  // The whole chunk is one slab; report what the pool actually reserved.
-  return reclaim::SlabPool::RoundedSize(SlabBytes(capacity));
-}
+template class ChunkT<Int64Layout>;
+template class ChunkT<ByteLayout>;
 
 }  // namespace kiwi::core

@@ -1,804 +1,14 @@
-// KiWiMap client operations: put / get / scan (paper Algorithm 2) plus
-// construction, diagnostics and the scan merge logic.  Rebalancing lives in
-// rebalance.cpp.
+// Explicit instantiations of the map core for both layouts.  The member
+// definitions live in kiwi_map_impl.h / rebalance_impl.h (pulled in through
+// kiwi_map.h); the obs-bound members (DebugReport, Census, the metrics pump)
+// are intentionally *not* defined there — they are instantiated per member
+// from src/obs/*.cpp, so core objects carry no observability code and the
+// KIWI_STATS=OFF symbol gate keeps holding for every layout.
 #include "core/kiwi_map.h"
-
-#include <algorithm>
-
-#include "common/assert.h"
-#include "common/test_hooks.h"
-#include "common/thread_registry.h"
-#include "obs/trace.h"
 
 namespace kiwi::core {
 
-KiWiMap::KiWiMap(KiWiConfig config)
-    : policy_(config), ebr_(), index_(ebr_) {
-  KIWI_ASSERT(config.chunk_capacity >= 2 &&
-                  config.chunk_capacity < Chunk::kPpaNoIdx,
-              "chunk capacity must fit the PPA's 16-bit cell index");
-  // Permanent sentinel head (minKey = -inf, capacity 0, never engaged) plus
-  // one initial data chunk covering the entire user key domain.
-  sentinel_ = Chunk::Create(pool_, kMinKeySentinel, 0, nullptr,
-                            Chunk::Status::kSentinel);
-  auto* first = Chunk::Create(pool_, kMinUserKey, config.chunk_capacity,
-                              nullptr, Chunk::Status::kNormal);
-  sentinel_->next.Store(MarkedPtr<Chunk>(first, false));
-  index_.PutUnconditional(sentinel_->min_key, sentinel_);
-  index_.PutUnconditional(first->min_key, first);
-}
-
-KiWiMap::KiWiMap(std::span<const Entry> sorted_entries, KiWiConfig config)
-    : KiWiMap(config) {
-  // Carve the input into half-filled normal chunks, exactly the layout a
-  // rebalance would produce, and index them eagerly.
-  const std::uint32_t capacity = config.chunk_capacity;
-  const std::uint32_t fill = std::max<std::uint32_t>(
-      1, static_cast<std::uint32_t>(config.fill_ratio * capacity));
-  Chunk* tail = sentinel_->Next();  // the initial empty chunk
-  std::size_t begin = 0;
-  while (begin < sorted_entries.size()) {
-    const std::size_t end = std::min(begin + fill, sorted_entries.size());
-    std::vector<Chunk::Item> items;
-    items.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto& [key, value] = sorted_entries[i];
-      KIWI_ASSERT(key >= kMinUserKey, "bulk-load key below the user domain");
-      KIWI_ASSERT(value != kTombstoneValue, "bulk-load value is reserved");
-      KIWI_ASSERT(items.empty() || key > items.back().key,
-                  "bulk-load keys must be strictly ascending");
-      KIWI_ASSERT(begin == 0 || sorted_entries[begin - 1].first < key,
-                  "bulk-load keys must be strictly ascending");
-      items.push_back(Chunk::Item{key, /*version=*/1,
-                                  static_cast<std::int32_t>(i - begin),
-                                  value});
-    }
-    // The very first segment loads into a chunk starting at kMinUserKey so
-    // the whole domain stays covered; later chunks start at their first key.
-    const Key min_key = begin == 0 ? kMinUserKey : items.front().key;
-    auto* chunk =
-        Chunk::Create(pool_, min_key, capacity, nullptr,
-                      Chunk::Status::kNormal,
-                      std::span<const Chunk::Item>(items));
-    KIWI_OBS_INC(obs_, chunks_created);
-    if (begin == 0) {
-      // Replace the initial empty chunk outright (single-threaded ctor).
-      Chunk* initial = sentinel_->Next();
-      sentinel_->next.Store(MarkedPtr<Chunk>(chunk, false));
-      index_.DeleteConditional(initial->min_key, initial);
-      Chunk::Destroy(initial);
-    } else {
-      tail->next.Store(MarkedPtr<Chunk>(chunk, false));
-    }
-    index_.PutUnconditional(chunk->min_key, chunk);
-    tail = chunk;
-    begin = end;
-  }
-}
-
-KiWiMap::~KiWiMap() {
-  // Externally synchronized.  The metrics pump (if any) reads the structure
-  // from its own thread, so it must be joined before anything is torn down.
-  StopMetricsPump();
-  // Live chunks are destroyed here; disconnected
-  // chunks and rebalance objects drain with ebr_'s destructor.  Their slabs
-  // all land in pool_, which frees them last (declared before ebr_).
-  Chunk* chunk = sentinel_;
-  while (chunk != nullptr) {
-    Chunk* next = chunk->Next();
-    Chunk::Destroy(chunk);
-    chunk = next;
-  }
-}
-
-Chunk* KiWiMap::LocateChunk(Key key) const {
-  // The index may lag the list (lazy updates), so finish with a traversal —
-  // but the lag can also hand back a chunk that was already spliced out.  A
-  // retired chunk's next pointers still chain through its dead section,
-  // whose frozen cells miss every put that completed in the replacement
-  // chunks, so a reader that trusts it returns stale data (found by the
-  // linearizability fuzzer, seed 74: a scan observed a value overwritten
-  // before the scan began).  Same doctrine as FindListPredecessor: never
-  // start from or walk through a retired chunk — restart from the sentinel,
-  // which is never retired.  Each restart implies another thread's splice
-  // completed in the meantime, so this cannot loop without global progress.
-  while (true) {
-    auto* chunk = static_cast<Chunk*>(index_.Lookup(key));
-    if (chunk == nullptr || chunk->retired.load(std::memory_order_acquire)) {
-      chunk = sentinel_;
-    }
-    bool dead_region = false;
-    while (true) {
-      Chunk* next = chunk->Next();
-      if (next == nullptr || next->min_key > key) break;
-      chunk = next;
-      if (chunk->retired.load(std::memory_order_acquire)) {
-        dead_region = true;
-        break;
-      }
-    }
-    if (!dead_region) return chunk;
-    KIWI_OBS_INC(obs_, locate_restarts);
-  }
-}
-
-void KiWiMap::Put(Key key, Value value) {
-  KIWI_ASSERT(value != kTombstoneValue, "value reserved for tombstones");
-  KIWI_OBS_INC(obs_, puts);
-  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kPut, timer);
-  PutImpl(key, value);
-}
-
-void KiWiMap::Remove(Key key) {
-  // Deletion is a put of the tombstone (paper: "a put of the ⊥ value
-  // removes the pair").  The tombstone flows through the same protocol and
-  // is filtered on the read side; rebalance compacts it away.  Latencies
-  // land in the put histogram (a remove IS a put).
-  KIWI_OBS_INC(obs_, removes);
-  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kPut, timer);
-  PutImpl(key, kTombstoneValue);
-}
-
-void KiWiMap::PutImpl(Key key, Value value) {
-  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
-  const std::size_t slot = ThreadRegistry::CurrentSlot();
-  const bool traced = KIWI_TRACE_SAMPLED(kPutOp, key, value);
-
-  while (true) {
-    reclaim::EbrGuard guard(ebr_);
-    Chunk* chunk = LocateChunk(key);
-    KIWI_ASSERT(chunk->status.load(std::memory_order_acquire) !=
-                    Chunk::Status::kSentinel,
-                "user key resolved to the sentinel chunk");
-
-    // -- phase 0: maintenance check (Algorithm 3), before allocating so
-    //    that infants never fill up.
-    bool put_done = false;
-    if (CheckRebalance(chunk, key, value, &put_done)) {
-      if (put_done) return;
-      KIWI_OBS_INC(obs_, put_restarts);
-      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
-      continue;
-    }
-
-    // -- phase 1: allocate a value slot and a cell (F&A/F&I give every
-    //    concurrent put distinct indices).
-    const std::uint32_t j =
-        chunk->v_counter.fetch_add(1, std::memory_order_seq_cst);
-    const std::uint32_t i =
-        chunk->k_counter.fetch_add(1, std::memory_order_seq_cst);
-    if (j >= chunk->capacity || i > chunk->capacity) {
-      KIWI_OBS_INC(obs_, cell_alloc_overflows);
-      if (Rebalance(chunk, key, value, /*has_put=*/true)) {
-        KIWI_OBS_INC(obs_, puts_piggybacked);
-        KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
-        return;
-      }
-      KIWI_OBS_INC(obs_, put_restarts);
-      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
-      continue;
-    }
-    chunk->v[j] = value;
-    Chunk::Cell& cell = chunk->k[i];
-    cell.key = key;
-    cell.version = kNoVersion;
-    cell.val_ptr.store(static_cast<std::int32_t>(j),
-                       std::memory_order_relaxed);
-    cell.next.store(Chunk::kNullIdx, std::memory_order_relaxed);
-
-    // -- phase 2: publish in the PPA, then acquire a version.  The publish
-    //    is a CAS from the idle word so it fails if the chunk froze after
-    //    phase 0 (paper line 14).
-    std::uint64_t expected = Chunk::kPpaIdle;
-    if (!chunk->ppa[slot].compare_exchange_strong(
-            expected, Chunk::PackPpa(Chunk::kPpaVerBottom, i),
-            std::memory_order_seq_cst)) {
-      KIWI_OBS_INC(obs_, ppa_publish_fails);
-      if (Rebalance(chunk, key, value, /*has_put=*/true)) {
-        KIWI_OBS_INC(obs_, puts_piggybacked);
-        KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
-        return;
-      }
-      KIWI_OBS_INC(obs_, put_restarts);
-      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
-      continue;
-    }
-    if (traced) KIWI_TRACE(kPutPpaPublish, key, i);
-    TestHooks::Run(TestHooks::put_before_version_cas);
-    const Version gv = gv_.Load();
-    std::uint64_t published = Chunk::PackPpa(Chunk::kPpaVerBottom, i);
-    const bool own_cas = chunk->ppa[slot].compare_exchange_strong(
-        published, Chunk::PackPpa(gv, i), std::memory_order_seq_cst);
-    // Whether our CAS, a helper's, or the freezer won, the entry is
-    // authoritative (paper line 16).
-    const Version version =
-        Chunk::PpaVer(chunk->ppa[slot].load(std::memory_order_seq_cst));
-    if (!own_cas && version != Chunk::kPpaVerFrozen) {
-      KIWI_OBS_INC(obs_, puts_helped);  // a scan or get installed our version
-      KIWI_TRACE(kPutHelped, key, version);
-    }
-    if (version == Chunk::kPpaVerFrozen) {
-      // The chunk froze between our status check and version acquisition;
-      // the entry stays frozen (this chunk is dead) and the put restarts.
-      if (Rebalance(chunk, key, value, /*has_put=*/true)) {
-        KIWI_OBS_INC(obs_, puts_piggybacked);
-        KIWI_TRACE(kPutPiggyback, key, reinterpret_cast<std::uintptr_t>(chunk));
-        return;
-      }
-      KIWI_OBS_INC(obs_, put_restarts);
-      KIWI_TRACE(kPutRestart, key, reinterpret_cast<std::uintptr_t>(chunk));
-      continue;
-    }
-    cell.version = version;
-
-    // -- phase 3: link the cell into the intra-chunk list (paper 17-25).
-    while (true) {
-      std::int32_t pred;
-      std::int32_t succ;
-      const std::int32_t existing = chunk->FindCell(key, version, &pred, &succ);
-      if (existing == Chunk::kNullIdx) {
-        cell.next.store(succ, std::memory_order_relaxed);
-        std::int32_t expected_succ = succ;
-        if (chunk->k[pred].next.compare_exchange_strong(
-                expected_succ, static_cast<std::int32_t>(i),
-                std::memory_order_seq_cst)) {
-          break;
-        }
-        KIWI_OBS_INC(obs_, put_link_retries);
-        continue;  // list changed under us; re-find the insertion point
-      }
-      // Same {key, version} already linked: the larger value location wins
-      // (it fetched-and-added later).
-      const std::int32_t current =
-          chunk->k[existing].val_ptr.load(std::memory_order_acquire);
-      if (current >= static_cast<std::int32_t>(j)) break;  // we lost
-      std::int32_t expected_ptr = current;
-      chunk->k[existing].val_ptr.compare_exchange_strong(
-          expected_ptr, static_cast<std::int32_t>(j),
-          std::memory_order_seq_cst);
-    }
-
-    chunk->ppa[slot].store(Chunk::kPpaIdle, std::memory_order_seq_cst);
-    return;
-  }
-}
-
-void KiWiMap::PutBatch(std::span<const Entry> entries) {
-  if (entries.empty()) return;
-  KIWI_OBS_INC(obs_, put_batches);
-  KIWI_OBS_ADD(obs_, batch_entries, entries.size());
-
-  // Normalize the batch: sort by key (stable, so equal keys keep their
-  // submission order), then keep only the last occurrence of each key —
-  // the state the equivalent sequence of Puts would leave behind.
-  std::vector<Entry> sorted(entries.begin(), entries.end());
-  std::stable_sort(
-      sorted.begin(), sorted.end(),
-      [](const Entry& a, const Entry& b) { return a.first < b.first; });
-  std::size_t w = 0;
-  for (std::size_t r = 0; r < sorted.size(); ++r) {
-    if (r + 1 < sorted.size() && sorted[r + 1].first == sorted[r].first) {
-      continue;  // superseded by a later write to the same key
-    }
-    sorted[w++] = sorted[r];
-  }
-  sorted.resize(w);
-  for (const auto& [key, value] : sorted) {
-    KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
-    KIWI_ASSERT(value != kTombstoneValue, "value reserved for tombstones");
-  }
-  KIWI_TRACE(kBatchStart, entries.size(), sorted.size());
-
-  const std::size_t slot = ThreadRegistry::CurrentSlot();
-  const std::uint32_t bulk_min = policy_.BulkRunThreshold();
-  std::size_t done = 0;
-  while (done < sorted.size()) {
-    reclaim::EbrGuard guard(ebr_);
-    Chunk* chunk = LocateChunk(sorted[done].first);
-    KIWI_ASSERT(chunk->status.load(std::memory_order_acquire) !=
-                    Chunk::Status::kSentinel,
-                "user key resolved to the sentinel chunk");
-
-    // Infant chunk: finish its parent's rebalance and retry (PutImpl's
-    // phase 0; the policy trigger is folded into the run dispatch below).
-    if (chunk->status.load(std::memory_order_acquire) ==
-        Chunk::Status::kInfant) {
-      RebalanceObject* ro = chunk->parent->ro.load(std::memory_order_acquire);
-      KIWI_ASSERT(ro != nullptr, "infant chunk without a parent rebalance");
-      Normalize(ro);
-      continue;
-    }
-
-    // The run this chunk covers: keys below the successor's minKey.  The
-    // bound stays valid even if the successor is concurrently replaced —
-    // replacement heads inherit their sector's minKey.
-    Chunk* succ = chunk->Next();
-    std::size_t run_end = sorted.size();
-    if (succ != nullptr) {
-      run_end = done + 1;
-      while (run_end < sorted.size() &&
-             sorted[run_end].first < succ->min_key) {
-        ++run_end;
-      }
-    }
-    const std::span<const Entry> run(sorted.data() + done, run_end - done);
-
-    const std::uint32_t allocated = chunk->AllocatedCells();
-    const bool full =
-        chunk->k_counter.load(std::memory_order_acquire) > chunk->capacity ||
-        chunk->v_counter.load(std::memory_order_acquire) >= chunk->capacity;
-    const bool frozen = chunk->status.load(std::memory_order_acquire) ==
-                        Chunk::Status::kFrozen;
-    if (run.size() >= bulk_min || full || frozen ||
-        policy_.ShouldTrigger(allocated, chunk->batched_count, ThreadRng())) {
-      // Bulk path: carry the run through the rebalance build, seeding the
-      // replacement chunks' sorted prefixes straight from the batch — no
-      // per-key PPA round trips.  0 means another thread's section won
-      // consensus; re-locate and retry (lock-free: each loss implies a
-      // competing splice completed).
-      const std::size_t installed = Rebalance(chunk, run);
-      if (installed > 0) {
-        KIWI_OBS_ADD(obs_, batch_bulk_entries, installed);
-        KIWI_TRACE(kBatchBulk, run[0].first, installed);
-        done += installed;
-      } else {
-        KIWI_OBS_INC(obs_, put_restarts);
-        KIWI_TRACE(kPutRestart, sorted[done].first,
-                   reinterpret_cast<std::uintptr_t>(chunk));
-      }
-      continue;
-    }
-
-    // Short run: the per-key PPA protocol, with the two index claims
-    // batched and the insertion point carried between keys.
-    const std::size_t installed = PutRunPerOp(chunk, run, slot);
-    if (installed > 0) {
-      KIWI_TRACE(kBatchRun, run[0].first, installed);
-      done += installed;
-    }
-    // installed < run.size(): the chunk filled or froze mid-run; the next
-    // iteration re-locates the remainder and takes the rebalance path.
-  }
-}
-
-std::size_t KiWiMap::PutRunPerOp(Chunk* chunk, std::span<const Entry> run,
-                                 std::size_t slot) {
-  // Claim cells and value slots for as much of the run as plausibly fits —
-  // two fetch-adds instead of two per key.  The counters can still race
-  // past capacity (other writers claim concurrently), so the post-claim
-  // bounds below are authoritative.  Claimed-but-unused cells are benign:
-  // never published, never linked; AllocatedCells is documented as an
-  // upper bound on live entries.
-  const std::uint32_t cap = chunk->capacity;
-  const std::uint32_t v_seen =
-      chunk->v_counter.load(std::memory_order_acquire);
-  const std::uint32_t want = static_cast<std::uint32_t>(std::min<std::size_t>(
-      run.size(), v_seen < cap ? cap - v_seen : 0));
-  if (want == 0) return 0;
-  const std::uint32_t j_base =
-      chunk->v_counter.fetch_add(want, std::memory_order_seq_cst);
-  const std::uint32_t i_base =
-      chunk->k_counter.fetch_add(want, std::memory_order_seq_cst);
-  const std::uint32_t usable_v =
-      j_base < cap ? std::min(want, cap - j_base) : 0;
-  const std::uint32_t usable_k =
-      i_base <= cap ? std::min(want, cap - i_base + 1) : 0;
-  const std::uint32_t n = std::min(usable_v, usable_k);
-
-  // Keys ascend within the run, so each key's insertion point is at or
-  // after the previous one's predecessor — thread it through as the next
-  // list search's starting point.
-  std::int32_t hint = Chunk::kNullIdx;
-  for (std::uint32_t t = 0; t < n; ++t) {
-    const auto [key, value] = run[t];
-    const std::uint32_t j = j_base + t;
-    const std::uint32_t i = i_base + t;
-    chunk->v[j] = value;
-    Chunk::Cell& cell = chunk->k[i];
-    cell.key = key;
-    cell.version = kNoVersion;
-    cell.val_ptr.store(static_cast<std::int32_t>(j),
-                       std::memory_order_relaxed);
-    cell.next.store(Chunk::kNullIdx, std::memory_order_relaxed);
-
-    // PutImpl's phases 2-3.  A failed publish or a frozen version means
-    // the chunk froze under us: entries [t, n) are not installed and the
-    // caller re-dispatches them after re-locating.
-    std::uint64_t expected = Chunk::kPpaIdle;
-    if (!chunk->ppa[slot].compare_exchange_strong(
-            expected, Chunk::PackPpa(Chunk::kPpaVerBottom, i),
-            std::memory_order_seq_cst)) {
-      return t;
-    }
-    TestHooks::Run(TestHooks::put_before_version_cas);
-    const Version gv = gv_.Load();
-    std::uint64_t published = Chunk::PackPpa(Chunk::kPpaVerBottom, i);
-    const bool own_cas = chunk->ppa[slot].compare_exchange_strong(
-        published, Chunk::PackPpa(gv, i), std::memory_order_seq_cst);
-    const Version version =
-        Chunk::PpaVer(chunk->ppa[slot].load(std::memory_order_seq_cst));
-    if (!own_cas && version != Chunk::kPpaVerFrozen) {
-      KIWI_OBS_INC(obs_, puts_helped);
-      KIWI_TRACE(kPutHelped, key, version);
-    }
-    if (version == Chunk::kPpaVerFrozen) return t;
-    cell.version = version;
-
-    while (true) {
-      std::int32_t pred;
-      std::int32_t succ;
-      const std::int32_t existing =
-          chunk->FindCellFrom(hint, key, version, &pred, &succ);
-      if (existing == Chunk::kNullIdx) {
-        cell.next.store(succ, std::memory_order_relaxed);
-        std::int32_t expected_succ = succ;
-        if (chunk->k[pred].next.compare_exchange_strong(
-                expected_succ, static_cast<std::int32_t>(i),
-                std::memory_order_seq_cst)) {
-          hint = pred;
-          break;
-        }
-        KIWI_OBS_INC(obs_, put_link_retries);
-        continue;  // list changed under us; re-find the insertion point
-      }
-      // Same {key, version} already linked: the larger value location wins
-      // (it fetched-and-added later).
-      const std::int32_t current =
-          chunk->k[existing].val_ptr.load(std::memory_order_acquire);
-      if (current >= static_cast<std::int32_t>(j)) {
-        hint = pred;
-        break;  // we lost
-      }
-      std::int32_t expected_ptr = current;
-      chunk->k[existing].val_ptr.compare_exchange_strong(
-          expected_ptr, static_cast<std::int32_t>(j),
-          std::memory_order_seq_cst);
-    }
-    chunk->ppa[slot].store(Chunk::kPpaIdle, std::memory_order_seq_cst);
-  }
-  return n;
-}
-
-std::optional<Value> KiWiMap::Get(Key key) {
-  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
-  KIWI_OBS_INC(obs_, gets);
-  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kGet, timer);
-  reclaim::EbrGuard guard(ebr_);
-  Chunk* chunk = LocateChunk(key);
-  // Help any pending put to this key acquire a version: ignoring it could
-  // order this get inconsistently with a later scan (paper Figure 2).  The
-  // fuzz mutant kSkipGetHelp re-breaks exactly this line.
-  if (!TestHooks::MutantEnabled(TestHooks::kSkipGetHelp)) [[likely]] {
-    chunk->HelpPendingPuts(gv_, key, key);
-  }
-  TestHooks::Run(TestHooks::get_after_help);
-  const Chunk::LatestResult latest = chunk->FindLatest(key, kMaxReadVersion);
-  const bool hit = latest.found && !latest.is_tombstone;
-  (void)KIWI_TRACE_SAMPLED(kGetOp, key, hit);
-  if (!hit) return std::nullopt;
-  KIWI_OBS_INC(obs_, get_hits);
-  return latest.value;
-}
-
-std::size_t KiWiMap::Scan(Key from_key, Key to_key,
-                          const std::function<void(Key, Value)>& yield) {
-  if (from_key < kMinUserKey) from_key = kMinUserKey;
-  if (from_key > to_key) return 0;
-  KIWI_OBS_INC(obs_, scans);
-  KIWI_OBS_SAMPLED_TIMER(obs_, obs::Latency::kScan, timer);
-  const std::size_t slot = ThreadRegistry::CurrentSlot();
-  PsaEntry& entry = psa_.Slot(slot);
-  const bool traced = KIWI_TRACE_SAMPLED(
-      kScanBegin, static_cast<std::uint64_t>(from_key),
-      static_cast<std::uint64_t>(to_key));
-
-  // -- 1. acquire a read point, synchronizing with rebalance via the PSA
-  //    (paper lines 32-35): publish intent, F&I GV, install (or adopt the
-  //    version a helping rebalance installed).  The publish-before-F&I
-  //    order is load-bearing (fuzz mutant kSkipScanPublish re-breaks it):
-  //    a rebalance that cannot see this scan's entry may compact away
-  //    versions at or below its read point.
-  std::uint64_t seq = 0;
-  Version read_point;
-  const bool published =
-      !TestHooks::MutantEnabled(TestHooks::kSkipScanPublish);
-  if (published) [[likely]] {
-    seq = entry.PublishPending(from_key, to_key);
-    TestHooks::Run(TestHooks::scan_before_version_install);
-    const Version fetched = gv_.FetchIncrement();
-    read_point = entry.InstallOwn(seq, fetched);
-    if (traced) KIWI_TRACE(kScanVersion, read_point, read_point != fetched);
-  } else {
-    read_point = gv_.FetchIncrement();  // mutant: invisible to rebalance
-    // Fire the same site so the fuzzer can stall the mutant scan in its
-    // vulnerable window (read point taken, chunks not yet read).
-    TestHooks::Run(TestHooks::scan_before_version_install);
-  }
-
-  // -- 2. read every key in range at `read_point`.
-  std::size_t emitted = 0;
-  {
-    reclaim::EbrGuard guard(ebr_);
-    Chunk* chunk = LocateChunk(from_key);
-    while (chunk != nullptr && chunk->min_key <= to_key) {
-      chunk->HelpPendingPuts(gv_, from_key, to_key);
-      EmitChunkRange(chunk, from_key, to_key, read_point, yield, &emitted);
-      chunk = chunk->Next();
-    }
-  }
-
-  if (published) [[likely]] entry.Clear(seq);
-  KIWI_OBS_ADD(obs_, scan_keys, emitted);
-  if (traced) KIWI_TRACE(kScanEnd, emitted, 0);
-  return emitted;
-}
-
-std::size_t KiWiMap::Scan(Key from_key, Key to_key,
-                          std::vector<Entry>& out) {
-  out.clear();
-  return Scan(from_key, to_key,
-              [&out](Key k, Value v) { out.emplace_back(k, v); });
-}
-
-void KiWiMap::EmitChunkRange(Chunk* chunk, Key from, Key to,
-                             Version read_point,
-                             const std::function<void(Key, Value)>& yield,
-                             std::size_t* emitted) {
-  // Pending puts first (PPA-before-list, see Chunk::FindLatest), reduced to
-  // the best candidate per key.
-  std::vector<Chunk::Item> pending;
-  chunk->CollectPpaItems(pending, from, to, read_point);
-  std::sort(pending.begin(), pending.end(), Chunk::ItemBefore);
-  std::size_t pi = 0;
-  const auto pending_best = [&pending](std::size_t at) {
-    return pending[at];  // first item of a key run is the best (sort order)
-  };
-  const auto skip_pending_run = [&pending](std::size_t at) {
-    const Key key = pending[at].key;
-    while (at < pending.size() && pending[at].key == key) ++at;
-    return at;
-  };
-  const auto emit = [&](Key key, Value value) {
-    if (value == kTombstoneValue) return;  // deleted at this read point
-    yield(key, value);
-    ++*emitted;
-  };
-
-  // Walk the in-chunk list, merging with the pending stream by key.
-  std::int32_t curr =
-      chunk->k[chunk->BatchedPredecessor(from)].next.load(
-          std::memory_order_acquire);
-  while (curr != Chunk::kNullIdx) {
-    const Chunk::Cell& cell = chunk->k[curr];
-    const Key key = cell.key;
-    if (key > to) break;
-    if (key < from) {
-      curr = cell.next.load(std::memory_order_acquire);
-      continue;
-    }
-    // Flush pending-only keys ordered before this one.
-    while (pi < pending.size() && pending[pi].key < key) {
-      emit(pending[pi].key, pending_best(pi).value);
-      pi = skip_pending_run(pi);
-    }
-    // List candidate: first version in this key's (descending) run at or
-    // below the read point.
-    bool have_list = false;
-    Chunk::Item list_item{key, kNoVersion, Chunk::kNullIdx, 0};
-    std::int32_t cursor = curr;
-    while (cursor != Chunk::kNullIdx) {
-      const Chunk::Cell& c = chunk->k[cursor];
-      if (c.key != key) break;
-      if (!have_list && c.version <= read_point) {
-        const std::int32_t vp = c.val_ptr.load(std::memory_order_acquire);
-        list_item = Chunk::Item{key, c.version, vp, chunk->v[vp]};
-        have_list = true;
-      }
-      cursor = c.next.load(std::memory_order_acquire);
-    }
-    curr = cursor;  // advanced past the whole key run
-    // Combine with a same-key pending candidate, if any.
-    if (pi < pending.size() && pending[pi].key == key) {
-      const Chunk::Item p = pending_best(pi);
-      pi = skip_pending_run(pi);
-      if (!have_list || Chunk::ItemBefore(p, list_item)) {
-        list_item = p;
-        have_list = true;
-      }
-    }
-    if (have_list) emit(key, list_item.value);
-  }
-  // Pending-only keys after the last list key.
-  while (pi < pending.size() && pending[pi].key <= to) {
-    emit(pending[pi].key, pending_best(pi).value);
-    pi = skip_pending_run(pi);
-  }
-}
-
-KiWiMap::Snapshot::Snapshot(KiWiMap& map)
-    : map_(map), slot_(ThreadRegistry::CurrentSlot()) {
-  // Identical to a scan's read-point acquisition (Algorithm 2 lines 32-35),
-  // over the full key range — the entry stays pinned until destruction so
-  // rebalance compaction preserves every version this view may read.
-  // Snapshots use their own PSA arrays so concurrent scans by this thread
-  // cannot displace the pin; only this thread touches its sub-slots.
-  sub_slot_ = kMaxSnapshotsPerThread;
-  for (std::size_t i = 0; i < kMaxSnapshotsPerThread; ++i) {
-    if (map_.snapshot_psa_[i].Slot(slot_).Load().ver == kNoVersion) {
-      sub_slot_ = i;
-      break;
-    }
-  }
-  KIWI_ASSERT(sub_slot_ < kMaxSnapshotsPerThread,
-              "a thread may hold at most kMaxSnapshotsPerThread open "
-              "Snapshots per map");
-  PsaEntry& entry = map_.snapshot_psa_[sub_slot_].Slot(slot_);
-  seq_ = entry.PublishPending(kMinUserKey, kMaxUserKey);
-  const Version fetched = map_.gv_.FetchIncrement();
-  read_point_ = entry.InstallOwn(seq_, fetched);
-  KIWI_OBS_INC(map_.obs_, snapshots);
-  KIWI_TRACE(kSnapshotOpen, read_point_, 0);
-}
-
-KiWiMap::Snapshot::~Snapshot() {
-  KIWI_ASSERT(ThreadRegistry::CurrentSlot() == slot_,
-              "snapshot released by a different thread");
-  map_.snapshot_psa_[sub_slot_].Slot(slot_).Clear(seq_);
-}
-
-std::optional<Value> KiWiMap::Snapshot::Get(Key key) {
-  KIWI_ASSERT(key >= kMinUserKey, "key below the user key domain");
-  reclaim::EbrGuard guard(map_.ebr_);
-  Chunk* chunk = map_.LocateChunk(key);
-  // Helping is still required at a pinned read point: a put that loaded GV
-  // before our fetch-and-increment could otherwise self-assign a version at
-  // or below read_point_ after we looked.
-  chunk->HelpPendingPuts(map_.gv_, key, key);
-  const Chunk::LatestResult latest = chunk->FindLatest(key, read_point_);
-  if (!latest.found || latest.is_tombstone) return std::nullopt;
-  return latest.value;
-}
-
-std::size_t KiWiMap::Snapshot::Scan(
-    Key from_key, Key to_key, const std::function<void(Key, Value)>& yield) {
-  if (from_key < kMinUserKey) from_key = kMinUserKey;
-  if (from_key > to_key) return 0;
-  std::size_t emitted = 0;
-  reclaim::EbrGuard guard(map_.ebr_);
-  Chunk* chunk = map_.LocateChunk(from_key);
-  while (chunk != nullptr && chunk->min_key <= to_key) {
-    chunk->HelpPendingPuts(map_.gv_, from_key, to_key);
-    map_.EmitChunkRange(chunk, from_key, to_key, read_point_, yield,
-                        &emitted);
-    chunk = chunk->Next();
-  }
-  return emitted;
-}
-
-std::size_t KiWiMap::Snapshot::Scan(Key from_key, Key to_key,
-                                    std::vector<Entry>& out) {
-  out.clear();
-  return Scan(from_key, to_key,
-              [&out](Key k, Value v) { out.emplace_back(k, v); });
-}
-
-std::size_t KiWiMap::Size() {
-  std::size_t count = 0;
-  Scan(kMinUserKey, kMaxUserKey, [&count](Key, Value) { ++count; });
-  return count;
-}
-
-std::size_t KiWiMap::MemoryFootprint() {
-  reclaim::EbrGuard guard(ebr_);
-  std::size_t bytes = index_.MemoryFootprint() + sizeof(*this);
-  for (Chunk* c = sentinel_; c != nullptr; c = c->Next()) {
-    bytes += c->MemoryFootprint();
-  }
-  return bytes;
-}
-
-std::size_t KiWiMap::ChunkCount() {
-  reclaim::EbrGuard guard(ebr_);
-  std::size_t count = 0;
-  for (Chunk* c = sentinel_; c != nullptr; c = c->Next()) ++count;
-  return count;
-}
-
-KiWiMap::StructureReport KiWiMap::Report() {
-  reclaim::EbrGuard guard(ebr_);
-  StructureReport report;
-  double fill_sum = 0;
-  double batched_sum = 0;
-  for (Chunk* c = sentinel_->Next(); c != nullptr; c = c->Next()) {
-    const std::uint32_t allocated = c->AllocatedCells();
-    report.data_chunks++;
-    report.allocated_cells += allocated;
-    report.batched_cells += c->batched_count;
-    fill_sum += static_cast<double>(allocated) / c->capacity;
-    batched_sum += allocated > 0
-                       ? static_cast<double>(c->batched_count) / allocated
-                       : 1.0;
-  }
-  if (report.data_chunks > 0) {
-    report.avg_fill = fill_sum / report.data_chunks;
-    report.avg_batched_ratio = batched_sum / report.data_chunks;
-  }
-  return report;
-}
-
-KiWiStats KiWiMap::Stats() const {
-  KiWiStats total;
-#if KIWI_OBS_ENABLED
-  const obs::OpCounters counters = obs_.Aggregate();
-  total.rebalances = counters.rebalances;
-  total.rebalance_wins = counters.rebalance_wins;
-  total.put_restarts = counters.put_restarts;
-  total.chunks_created = counters.chunks_created;
-  total.chunks_retired = counters.chunks_retired;
-  total.puts_piggybacked = counters.puts_piggybacked;
-  total.puts_helped = counters.puts_helped;
-#endif
-  return total;
-}
-
-void KiWiMap::CompactAll() {
-  // Quiescent helper: rebalance every data chunk once, forcing version
-  // compaction and structure cleanup.
-  std::vector<Key> min_keys;
-  {
-    reclaim::EbrGuard guard(ebr_);
-    for (Chunk* c = sentinel_->Next(); c != nullptr; c = c->Next()) {
-      min_keys.push_back(c->min_key);
-    }
-  }
-  for (const Key key : min_keys) {
-    reclaim::EbrGuard guard(ebr_);
-    Chunk* c = LocateChunk(key);
-    if (c->status.load(std::memory_order_acquire) == Chunk::Status::kNormal) {
-      Rebalance(c, 0, 0, /*has_put=*/false);
-    }
-  }
-}
-
-void KiWiMap::CheckInvariants() {
-  reclaim::EbrGuard guard(ebr_);
-  KIWI_ASSERT(sentinel_->status.load() == Chunk::Status::kSentinel,
-              "head must be the sentinel");
-  Key prev_min = kMinKeySentinel;
-  for (Chunk* c = sentinel_->Next(); c != nullptr; c = c->Next()) {
-    KIWI_ASSERT(c->min_key > prev_min || c == sentinel_->Next(),
-                "chunk minKeys must be strictly increasing");
-    KIWI_ASSERT(c->min_key >= kMinUserKey, "data chunk below user domain");
-    prev_min = c->min_key;
-    const Chunk* succ = c->Next();
-    const Key upper = succ != nullptr ? succ->min_key : kMaxUserKey;
-    // In-chunk list: sorted by (key asc, version desc), all in range.
-    std::int32_t curr = c->k[0].next.load(std::memory_order_acquire);
-    Key last_key = kMinKeySentinel;
-    Version last_ver = 0;
-    bool first = true;
-    while (curr != Chunk::kNullIdx) {
-      const Chunk::Cell& cell = c->k[curr];
-      KIWI_ASSERT(cell.key >= c->min_key, "cell below chunk range");
-      KIWI_ASSERT(succ == nullptr || cell.key < upper || cell.key <= upper,
-                  "cell above chunk range");
-      if (!first) {
-        KIWI_ASSERT(cell.key > last_key ||
-                        (cell.key == last_key && cell.version < last_ver),
-                    "in-chunk list out of order");
-      }
-      first = false;
-      last_key = cell.key;
-      last_ver = cell.version;
-      curr = cell.next.load(std::memory_order_acquire);
-    }
-  }
-}
-
-Xoshiro256& KiWiMap::ThreadRng() {
-  thread_local Xoshiro256 rng(0x9e3779b97f4a7c15ULL ^
-                              (ThreadRegistry::CurrentSlot() * 0x100000001b3ULL));
-  return rng;
-}
+template class KiWiMapT<Int64Layout>;
+template class KiWiMapT<ByteLayout>;
 
 }  // namespace kiwi::core

@@ -19,6 +19,12 @@
 //    and merges chunks in seven idempotent stages (§3.3.2).
 //  * Disconnected chunks are reclaimed through epoch-based reclamation.
 //
+// The map is templated on a key/value Layout (core/layout.h):
+// `KiWiMap` = KiWiMapT<Int64Layout> is the original fixed-width map (every
+// trait call is an identity, so it compiles to the pre-template hot paths);
+// KiWiMapT<ByteLayout> stores variable-length byte strings through per-chunk
+// arenas and is surfaced to users as api::KiWiByteMap (src/api/byte_map.h).
+//
 // Thread safety: all public methods may be called from any number of threads
 // concurrently (at most kMaxThreads distinct threads over the map lifetime
 // at once).  Get/Scan are wait-free, Put/Remove lock-free.
@@ -65,26 +71,43 @@ struct KiWiStats {
   std::uint64_t puts_helped = 0;       // version installed by a scan/get
 };
 
-class KiWiMap {
+template <typename Layout>
+class KiWiMapT {
  public:
-  using Entry = std::pair<Key, Value>;
+  // In-class spellings: inside this template, `Chunk`, `Psa` and `PsaEntry`
+  // refer to this layout's instantiations (shadowing the int64 aliases), so
+  // the implementation reads like the fixed-width original.
+  using Chunk = ChunkT<Layout>;
+  using PsaKey = typename Layout::PsaKey;
+  using Psa = PsaT<PsaKey>;
+  using PsaEntry = PsaEntryT<PsaKey>;
+  using KeyView = typename Layout::KeyView;
+  using ValueView = typename Layout::ValueView;
+  using OwnedKey = typename Layout::OwnedKey;
+  using OwnedValue = typename Layout::OwnedValue;
+  /// What the collecting Scan / bulk-load ctor traffic in.  For int64 this
+  /// is pair<Key, Value>, exactly as before; for bytes pair<string, string>.
+  using Entry = std::pair<OwnedKey, OwnedValue>;
 
-  explicit KiWiMap(KiWiConfig config = {});
+  explicit KiWiMapT(KiWiConfig config = {});
 
   /// Bulk-load construction: builds chunks directly from `sorted_entries`
   /// (strictly ascending keys, no tombstones) without going through Put —
   /// O(n) instead of O(n log n) with rebalance churn.  Useful for loading
   /// datasets before a benchmark or restoring a backup.
-  explicit KiWiMap(std::span<const Entry> sorted_entries,
-                   KiWiConfig config = {});
+  explicit KiWiMapT(std::span<const Entry> sorted_entries,
+                    KiWiConfig config = {});
 
-  ~KiWiMap();
-  KiWiMap(const KiWiMap&) = delete;
-  KiWiMap& operator=(const KiWiMap&) = delete;
+  ~KiWiMapT();
+  KiWiMapT(const KiWiMapT&) = delete;
+  KiWiMapT& operator=(const KiWiMapT&) = delete;
 
-  /// Insert or overwrite.  Lock-free.  `key` must be >= kMinUserKey and
-  /// `value` must not be kTombstoneValue.
-  void Put(Key key, Value value);
+  /// Insert or overwrite.  Lock-free.  `key` must be a user key (int64:
+  /// >= kMinUserKey; bytes: non-empty) and `value` must not be the reserved
+  /// tombstone (int64: kTombstoneValue; bytes: any value is legal).  For
+  /// byte layouts key + value must fit Config().bytes.max_entry_bytes; the
+  /// map copies both, so callers keep ownership of the viewed buffers.
+  void Put(KeyView key, ValueView value);
 
   /// Insert or overwrite every pair of `entries` — equivalent to calling
   /// Put for each in order (duplicate keys: the last occurrence wins), but
@@ -96,24 +119,33 @@ class KiWiMap {
   ///
   /// NOT atomic as a whole: each entry linearizes individually somewhere
   /// inside the call, exactly as a sequence of Puts would, so concurrent
-  /// scans may observe any prefix-consistent subset.  Lock-free.  Keys
-  /// must be >= kMinUserKey, values must not be kTombstoneValue.  See
-  /// docs/INGEST.md for the full walkthrough.
+  /// scans may observe any prefix-consistent subset.  Lock-free.  Keys and
+  /// values obey the same rules as Put.  See docs/INGEST.md for the full
+  /// walkthrough.
   void PutBatch(std::span<const Entry> entries);
 
   /// Remove `key` (puts the tombstone, paper's put(⊥)).  Lock-free.
-  void Remove(Key key);
+  void Remove(KeyView key);
 
   /// Latest value of `key`, or nullopt.  Wait-free, linearizable.
-  std::optional<Value> Get(Key key);
+  std::optional<OwnedValue> Get(KeyView key);
 
   /// Atomic snapshot of [from_key, to_key] (inclusive), in ascending key
   /// order.  Wait-free, linearizable.  Returns the number of pairs yielded.
-  std::size_t Scan(Key from_key, Key to_key,
-                   const std::function<void(Key, Value)>& yield);
+  /// The views handed to `yield` are valid only for the duration of the
+  /// callback (they point into chunk storage pinned by the scan's guard).
+  std::size_t Scan(KeyView from_key, KeyView to_key,
+                   const std::function<void(KeyView, ValueView)>& yield);
 
   /// Convenience overload collecting into a vector (cleared first).
-  std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out);
+  std::size_t Scan(KeyView from_key, KeyView to_key, std::vector<Entry>& out);
+
+  /// Atomic snapshot of every key at or above `from_key` — a Scan with no
+  /// upper bound.  Byte keys have no maximum key, so this is the only way
+  /// to scan a byte map to the end; for int64 it equals Scan(from_key,
+  /// kMaxUserKey, ...).
+  std::size_t ScanFrom(KeyView from_key,
+                       const std::function<void(KeyView, ValueView)>& yield);
 
   /// A consistent read view: one scan read-point held open across any
   /// number of gets and range reads (an extension the paper's design makes
@@ -128,24 +160,25 @@ class KiWiMap {
   /// kMaxSnapshotsPerThread simultaneously open snapshots per map.
   class Snapshot {
    public:
-    explicit Snapshot(KiWiMap& map);
+    explicit Snapshot(KiWiMapT& map);
     ~Snapshot();
     Snapshot(const Snapshot&) = delete;
     Snapshot& operator=(const Snapshot&) = delete;
 
     /// Value of `key` as of the snapshot's read point.
-    std::optional<Value> Get(Key key);
+    std::optional<OwnedValue> Get(KeyView key);
 
     /// Range read at the snapshot's read point.
-    std::size_t Scan(Key from_key, Key to_key,
-                     const std::function<void(Key, Value)>& yield);
-    std::size_t Scan(Key from_key, Key to_key, std::vector<Entry>& out);
+    std::size_t Scan(KeyView from_key, KeyView to_key,
+                     const std::function<void(KeyView, ValueView)>& yield);
+    std::size_t Scan(KeyView from_key, KeyView to_key,
+                     std::vector<Entry>& out);
 
     /// The pinned version (diagnostics).
     Version ReadPoint() const { return read_point_; }
 
    private:
-    KiWiMap& map_;
+    KiWiMapT& map_;
     Version read_point_;
     std::uint64_t seq_;
     std::size_t slot_;
@@ -176,9 +209,10 @@ class KiWiMap {
 
   /// Chunk-health census: one O(chunks) epoch-guarded walk of the list,
   /// reporting per-chunk fill factor, sorted-prefix vs linked-suffix ratio,
-  /// pending-rebalance state and age, aggregated into distribution
-  /// histograms.  Live regardless of KIWI_STATS (like the gauges).  Defined
-  /// in obs/census.cpp so core objects carry no obs references.
+  /// arena fill (byte layouts), pending-rebalance state and age, aggregated
+  /// into distribution histograms.  Live regardless of KIWI_STATS (like the
+  /// gauges).  Defined in obs/census.cpp so core objects carry no obs
+  /// references.
   obs::ChunkCensus Census();
 
   /// Start the continuous-telemetry pump: a background thread snapshotting
@@ -215,6 +249,9 @@ class KiWiMap {
 
   const KiWiConfig& Config() const { return policy_.config(); }
 
+  /// Per-chunk arena bytes for this layout (0 for fixed-width layouts).
+  std::uint32_t ArenaCapacity() const { return arena_capacity_; }
+
   /// Test/diagnostic hook: run a full rebalance over every chunk, forcing
   /// compaction of obsolete versions.  Quiescent callers only.
   void CompactAll();
@@ -239,8 +276,17 @@ class KiWiMap {
   const reclaim::SlabPool& Pool() const { return pool_; }
 
  private:
+  using RebalanceObject = RebalanceObjectT<Layout>;
+  using Item = typename Chunk::Item;
+
   /// Shared body of Put and Remove (a remove is a put of the tombstone).
-  void PutImpl(Key key, Value value);
+  void PutImpl(KeyView key, ValueView value);
+
+  /// Shared body of the bounded/unbounded scans.  `to_key` == nullptr
+  /// means "no upper bound" (ScanFrom); the PSA publication covers the
+  /// layout's whole upper prefix domain in that case.
+  std::size_t ScanImpl(KeyView from_key, const KeyView* to_key,
+                       const std::function<void(KeyView, ValueView)>& yield);
 
   /// PutBatch's amortized per-op path: install a sorted run of distinct
   /// keys (all covered by `chunk`) through the normal PPA protocol, but
@@ -248,7 +294,8 @@ class KiWiMap {
   /// intra-chunk insertion point carried forward between keys.  Returns
   /// how many leading entries were installed; fewer than run.size() means
   /// the chunk filled or froze mid-run and the caller must re-locate.
-  std::size_t PutRunPerOp(Chunk* chunk, std::span<const Entry> run,
+  /// Items carry {key, value} views only (version/val_ptr ignored).
+  std::size_t PutRunPerOp(Chunk* chunk, std::span<const Item> run,
                           std::size_t slot);
 
   struct BuiltSection {
@@ -260,26 +307,28 @@ class KiWiMap {
 
   /// Chunk that currently covers `key` (index lookup + list walk).
   /// Must be called under an EBR guard.
-  Chunk* LocateChunk(Key key) const;
+  Chunk* LocateChunk(KeyView key) const;
 
   /// Paper's checkRebalance (Algorithm 3).  Returns true if the put must be
   /// restarted or was completed; *put_done reports completion (piggyback).
-  bool CheckRebalance(Chunk* chunk, Key key, Value value, bool* put_done);
+  bool CheckRebalance(Chunk* chunk, KeyView key, ValueView value,
+                      bool* put_done);
 
   /// Paper's rebalance (Algorithm 4 stages 1-5 + normalize).  Returns true
   /// iff this call's (key, value) was inserted by the rebalance.  Thin
   /// wrapper over the span form; the piggyback config gate lives here.
-  bool Rebalance(Chunk* chunk, Key key, Value value, bool has_put);
+  bool Rebalance(Chunk* chunk, KeyView key, ValueView value, bool has_put);
 
   /// Span form: runs the full rebalance of `chunk`'s sector and merges
-  /// `puts` (sorted by key, distinct keys) into the replacement section
-  /// during the build stage.  Returns the number of entries installed —
-  /// every put covered by the sector when our built section won consensus,
-  /// 0 otherwise (the caller re-locates and retries; each loss implies
-  /// another thread's section was spliced, so retries are lock-free).
-  /// Entries linearize at the splice CAS with the GV current at build time,
-  /// exactly like the single-put piggyback.
-  std::size_t Rebalance(Chunk* chunk, std::span<const Entry> puts);
+  /// `puts` (sorted by key, distinct keys; only {key, value} views are
+  /// read) into the replacement section during the build stage.  Returns
+  /// the number of entries installed — every put covered by the sector
+  /// when our built section won consensus, 0 otherwise (the caller
+  /// re-locates and retries; each loss implies another thread's section
+  /// was spliced, so retries are lock-free).  Entries linearize at the
+  /// splice CAS with the GV current at build time, exactly like the
+  /// single-put piggyback.
+  std::size_t Rebalance(Chunk* chunk, std::span<const Item> puts);
 
   /// Stage 1: agree on the engaged set; returns the rebalance object and
   /// the last engaged chunk.
@@ -291,14 +340,13 @@ class KiWiMap {
   /// Stage 3: minimal read point any pending/future scan may use, helping
   /// pending scans whose range overlaps [from, to_exclusive) acquire
   /// versions.  `bounded` = false means the range extends to +inf.
-  Version ComputeMinVersion(Key from, Key to_exclusive, bool bounded);
+  Version ComputeMinVersion(KeyView from, KeyView to_exclusive, bool bounded);
 
   /// Stage 4: build the replacement section from the engaged chunks,
   /// merging the sector-covered subset of `puts` (sorted, distinct keys)
   /// into the compacted data at the current GV.
   BuiltSection BuildSection(RebalanceObject* ro, Chunk* last,
-                            Version min_version,
-                            std::span<const Entry> puts);
+                            Version min_version, std::span<const Item> puts);
 
   /// Stage 5: consensus + splice.  Returns true once the (agreed)
   /// replacement section is reachable; *i_won reports whether this thread's
@@ -316,18 +364,18 @@ class KiWiMap {
   /// Destroy a built-but-never-published section (consensus loser).
   static void DiscardSection(Chunk* first);
 
-  /// Emit one chunk's contribution to a scan.
-  void EmitChunkRange(Chunk* chunk, Key from, Key to, Version read_point,
-                      const std::function<void(Key, Value)>& yield,
+  /// Emit one chunk's contribution to a scan (`to` == nullptr: unbounded).
+  void EmitChunkRange(Chunk* chunk, KeyView from, const KeyView* to,
+                      Version read_point,
+                      const std::function<void(KeyView, ValueView)>& yield,
                       std::size_t* emitted);
 
   /// Compact a sorted, deduplicated item run according to `min_version`
   /// (keep everything newer, plus the newest version at-or-below it unless
   /// that is a tombstone).  Appends survivors of [begin, end) to `out`.
-  static void CompactKeyRun(const std::vector<Chunk::Item>& items,
-                            std::size_t begin, std::size_t end,
-                            Version min_version,
-                            std::vector<Chunk::Item>& out);
+  static void CompactKeyRun(const std::vector<Item>& items, std::size_t begin,
+                            std::size_t end, Version min_version,
+                            std::vector<Item>& out);
 
   Xoshiro256& ThreadRng();
 
@@ -337,7 +385,7 @@ class KiWiMap {
   /// return slabs here.
   mutable reclaim::SlabPool pool_;
   mutable reclaim::Ebr ebr_;
-  index::ChunkIndex index_;
+  index::ChunkIndexT<Layout> index_;
   GlobalVersion gv_;
   Psa psa_;
   /// Snapshot views pin their read points here, separately from transient
@@ -345,6 +393,10 @@ class KiWiMap {
   /// pin.  One array per snapshot sub-slot; ComputeMinVersion consults all.
   Psa snapshot_psa_[kMaxSnapshotsPerThread];
   Chunk* sentinel_;  // permanent list head, never engaged
+  /// Arena bytes per chunk (chunk_capacity * bytes.arena_bytes_per_cell for
+  /// byte layouts, 0 for fixed-width) and the clamped per-entry byte cap.
+  std::uint32_t arena_capacity_ = 0;
+  std::uint32_t max_entry_bytes_ = 0;
 
   /// Owned by Start/StopMetricsPump (both defined in obs/export.cpp, so
   /// this stays an opaque pointer here and core objects stay obs-free).
@@ -362,4 +414,17 @@ class KiWiMap {
   friend class FuzzScenarioPeer;
 };
 
+/// The fixed-width map — the original spelling and compiled hot paths.
+using KiWiMap = KiWiMapT<Int64Layout>;
+
+}  // namespace kiwi::core
+
+// Member definitions (all but the obs-bound members, which live in
+// src/obs/*.cpp so core objects carry no obs code):
+#include "core/kiwi_map_impl.h"   // IWYU pragma: keep
+#include "core/rebalance_impl.h"  // IWYU pragma: keep
+
+namespace kiwi::core {
+extern template class KiWiMapT<Int64Layout>;
+extern template class KiWiMapT<ByteLayout>;
 }  // namespace kiwi::core

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/random.h"
+#include "core/layout.h"
 
 namespace kiwi::core {
 
@@ -42,6 +43,9 @@ struct KiWiConfig {
   /// (rebalance-carried) once a chunk's covered run reaches this many
   /// entries.  0 = auto: max(4, chunk_capacity / 8).
   std::uint32_t batch_bulk_min_run = 0;
+  /// Arena sizing for byte-layout maps (KiWiByteMap); ignored by the
+  /// fixed-width int64 map.  See core/layout.h.
+  ByteConfig bytes{};
 };
 
 /// Stateless policy decisions parameterized by KiWiConfig.  The RNG is the

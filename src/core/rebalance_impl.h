@@ -23,6 +23,10 @@
 //  * a tombstone is dropped only when its version is at or below the minimal
 //    read point — the literal pseudocode can drop a value a pending scan
 //    still needs.
+//
+// Included by kiwi_map.h only; see kiwi_map_impl.h for the doctrine.
+#pragma once
+
 #include <algorithm>
 #include <iterator>
 #include <limits>
@@ -35,8 +39,9 @@
 
 namespace kiwi::core {
 
-bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
-                             bool* put_done) {
+template <typename Layout>
+bool KiWiMapT<Layout>::CheckRebalance(Chunk* chunk, KeyView key,
+                                      ValueView value, bool* put_done) {
   *put_done = false;
   if (chunk->status.load(std::memory_order_acquire) ==
       Chunk::Status::kInfant) {
@@ -49,9 +54,13 @@ bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
     return true;
   }
   const std::uint32_t allocated = chunk->AllocatedCells();
-  const bool full =
+  bool full =
       chunk->k_counter.load(std::memory_order_acquire) > chunk->capacity ||
       chunk->v_counter.load(std::memory_order_acquire) >= chunk->capacity;
+  if constexpr (Layout::kHasArena) {
+    full = full || chunk->arena_used.load(std::memory_order_acquire) >=
+                       chunk->arena_capacity;
+  }
   const bool frozen = chunk->status.load(std::memory_order_acquire) ==
                       Chunk::Status::kFrozen;
   if (full || frozen ||
@@ -63,17 +72,23 @@ bool KiWiMap::CheckRebalance(Chunk* chunk, Key key, Value value,
   return false;
 }
 
-bool KiWiMap::Rebalance(Chunk* chunk, Key key, Value value, bool has_put) {
+template <typename Layout>
+bool KiWiMapT<Layout>::Rebalance(Chunk* chunk, KeyView key, ValueView value,
+                                 bool has_put) {
   // The piggyback gate lives here so that PutBatch's bulk path (the span
-  // form below) is always allowed to carry its run through the build.
-  const Entry entry{key, value};
+  // form below) is always allowed to carry its run through the build.  The
+  // carried put travels as an Item so the value's tombstone identity (byte
+  // layouts tag tombstones by pointer, see Layout::IsTombstone) survives.
+  const Item item{key, kNoVersion, 0, value};
   const bool piggyback = has_put && policy_.config().enable_put_piggyback;
-  const std::span<const Entry> puts =
-      piggyback ? std::span<const Entry>(&entry, 1) : std::span<const Entry>();
+  const std::span<const Item> puts =
+      piggyback ? std::span<const Item>(&item, 1) : std::span<const Item>();
   return Rebalance(chunk, puts) > 0;
 }
 
-std::size_t KiWiMap::Rebalance(Chunk* chunk, std::span<const Entry> puts) {
+template <typename Layout>
+std::size_t KiWiMapT<Layout>::Rebalance(Chunk* chunk,
+                                        std::span<const Item> puts) {
   reclaim::EbrGuard guard(ebr_);
   KIWI_OBS_INC(obs_, rebalances);
   KIWI_OBS_TIMER(obs_, obs::Latency::kRebalance, whole_timer);
@@ -124,8 +139,8 @@ std::size_t KiWiMap::Rebalance(Chunk* chunk, std::span<const Entry> puts) {
   {
     KIWI_OBS_TIMER(obs_, obs::Latency::kRebalanceBuild, stage_timer);
     Chunk* succ = last->Next();
-    const Key range_from = ro->first->min_key;
-    const Key range_to = succ != nullptr ? succ->min_key : 0;
+    const KeyView range_from = ro->first->MinKey();
+    const KeyView range_to = succ != nullptr ? succ->MinKey() : KeyView{};
     min_version =
         ComputeMinVersion(range_from, range_to, /*bounded=*/succ != nullptr);
     KIWI_TRACE(kRebMinVersion, reinterpret_cast<std::uintptr_t>(ro),
@@ -195,7 +210,9 @@ std::size_t KiWiMap::Rebalance(Chunk* chunk, std::span<const Entry> puts) {
   return consensus_winner ? mine.puts_included : 0;
 }
 
-RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
+template <typename Layout>
+auto KiWiMapT<Layout>::Engage(Chunk* chunk, Chunk** last_out)
+    -> RebalanceObject* {
   // A retired chunk was spliced out by a finished rebalance; the caller
   // reached it through a stale pointer and must restart its traversal.
   if (chunk->retired.load(std::memory_order_acquire)) return nullptr;
@@ -217,7 +234,8 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
         ebr_.Retire(
             existing,
             [](void* ro_ptr) {
-              RebalanceObject::Unref(static_cast<RebalanceObject*>(ro_ptr));
+              RebalanceObjectT<Layout>::Unref(
+                  static_cast<RebalanceObjectT<Layout>*>(ro_ptr));
             },
             sizeof(RebalanceObject));
         ro = fresh;
@@ -303,7 +321,8 @@ RebalanceObject* KiWiMap::Engage(Chunk* chunk, Chunk** last_out) {
   return ro;
 }
 
-Chunk* KiWiMap::FindLastEngaged(RebalanceObject* ro) const {
+template <typename Layout>
+auto KiWiMapT<Layout>::FindLastEngaged(RebalanceObject* ro) const -> Chunk* {
   Chunk* last = ro->first;
   while (true) {
     Chunk* next = last->Next();
@@ -314,7 +333,9 @@ Chunk* KiWiMap::FindLastEngaged(RebalanceObject* ro) const {
   }
 }
 
-Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
+template <typename Layout>
+Version KiWiMapT<Layout>::ComputeMinVersion(KeyView from, KeyView to_exclusive,
+                                            bool bounded) {
   // Reading GV *before* the PSA passes is what makes the bound safe: any
   // scan we fail to observe below publishes its pending entry before its
   // F&I, so its version is at least this value.
@@ -334,11 +355,14 @@ Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
   for (Psa* array : arrays) {
     for (std::size_t t = 0; t < high_water; ++t) {
       PsaEntry& entry = array->Slot(t);
-      const PsaEntry::VerSeq vs = entry.Load();
+      const typename PsaEntry::VerSeq vs = entry.Load();
       if (vs.ver == kNoVersion) continue;
-      const bool overlaps =
-          from <= entry.To() && (!bounded || to_exclusive > entry.From());
-      if (!overlaps) continue;
+      // Byte layouts answer in the normalized-prefix domain — conservative
+      // (a spurious overlap only costs an extra help), never lossy.
+      if (!Layout::PsaOverlaps(from, bounded, to_exclusive, entry.From(),
+                               entry.To())) {
+        continue;
+      }
       if (vs.ver == kPendingVersion) {
         to_help.push_back(PendingScan{&entry, vs.seq});
       } else {
@@ -358,7 +382,7 @@ Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
       }
       // Whether our CAS or the scan's own won, account for the installed
       // version (if the scan has not already finished and moved on).
-      const PsaEntry::VerSeq vs = p.entry->Load();
+      const typename PsaEntry::VerSeq vs = p.entry->Load();
       if (vs.seq == p.seq && vs.ver != kNoVersion &&
           vs.ver != kPendingVersion) {
         min_version = std::min(min_version, vs.ver);
@@ -368,10 +392,11 @@ Version KiWiMap::ComputeMinVersion(Key from, Key to_exclusive, bool bounded) {
   return min_version;
 }
 
-void KiWiMap::CompactKeyRun(const std::vector<Chunk::Item>& items,
-                            std::size_t begin, std::size_t end,
-                            Version min_version,
-                            std::vector<Chunk::Item>& out) {
+template <typename Layout>
+void KiWiMapT<Layout>::CompactKeyRun(const std::vector<Item>& items,
+                                     std::size_t begin, std::size_t end,
+                                     Version min_version,
+                                     std::vector<Item>& out) {
   // One key's versions, descending.  Keep everything above min_version
   // (scans may still need any of them — including tombstones, which must
   // stay visible so a scan at a later read point does not resurrect older
@@ -379,10 +404,10 @@ void KiWiMap::CompactKeyRun(const std::vector<Chunk::Item>& items,
   // that if it is a tombstone (nobody can read below min_version anymore).
   Version previous = kPendingVersion;  // larger than any real version
   for (std::size_t i = begin; i < end; ++i) {
-    const Chunk::Item& item = items[i];
+    const Item& item = items[i];
     if (item.version == previous) continue;  // {key,version} tie loser
     previous = item.version;
-    if (item.value == kTombstoneValue &&
+    if (Layout::IsTombstone(item.value) &&
         TestHooks::MutantEnabled(TestHooks::kEagerTombstonePurge))
         [[unlikely]] {
       // Mutant: the paper's literal line 109 — drop the tombstone and all
@@ -394,17 +419,19 @@ void KiWiMap::CompactKeyRun(const std::vector<Chunk::Item>& items,
       out.push_back(item);
       continue;
     }
-    if (item.value != kTombstoneValue) out.push_back(item);
+    if (!Layout::IsTombstone(item.value)) out.push_back(item);
     break;
   }
 }
 
-KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
-                                            Version min_version,
-                                            std::span<const Entry> puts) {
+template <typename Layout>
+auto KiWiMapT<Layout>::BuildSection(RebalanceObject* ro, Chunk* last,
+                                    Version min_version,
+                                    std::span<const Item> puts)
+    -> BuiltSection {
   // Harvest the engaged sector.  Chunks hold ascending disjoint ranges and
   // CollectItems sorts within a chunk, so concatenation is globally sorted.
-  std::vector<Chunk::Item> items;
+  std::vector<Item> items;
   for (Chunk* c = ro->first;; c = c->Next()) {
     c->CollectItems(items);
     if (c == last) break;
@@ -417,24 +444,27 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
     // newest version of its key.  One load covers the whole run: concurrent
     // puts may legally share a version (scans F&I past it).
     Chunk* succ = last->Next();
-    const Key range_from = ro->first->min_key;
+    const KeyView range_from = ro->first->MinKey();
     const bool bounded = succ != nullptr;
-    const Key range_to = bounded ? succ->min_key : 0;
+    const KeyView range_to = bounded ? succ->MinKey() : KeyView{};
     const Version put_version = gv_.Load();
-    std::vector<Chunk::Item> put_items;
+    std::vector<Item> put_items;
     put_items.reserve(puts.size());
-    for (const auto& [put_key, put_value] : puts) {
-      if (put_key < range_from || (bounded && put_key >= range_to)) continue;
+    for (const Item& put : puts) {
+      if (Layout::KeyLess(put.key, range_from) ||
+          (bounded && Layout::KeyLeq(range_to, put.key))) {
+        continue;
+      }
       // INT32_MAX as the value location: the carried put wins any
       // {key, version} tie against sector-internal data.
-      put_items.push_back(Chunk::Item{
-          put_key, put_version, std::numeric_limits<std::int32_t>::max(),
-          put_value});
+      put_items.push_back(Item{put.key, put_version,
+                               std::numeric_limits<std::int32_t>::max(),
+                               put.value});
     }
     if (!put_items.empty()) {
       // `puts` is sorted with distinct keys, so put_items is too; one merge
       // instead of a per-item insertion.
-      std::vector<Chunk::Item> merged;
+      std::vector<Item> merged;
       merged.reserve(items.size() + put_items.size());
       std::merge(items.begin(), items.end(), put_items.begin(),
                  put_items.end(), std::back_inserter(merged),
@@ -445,11 +475,12 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
   }
 
   // Compact per key run.
-  std::vector<Chunk::Item> kept;
+  std::vector<Item> kept;
   kept.reserve(items.size());
   std::size_t run_begin = 0;
   for (std::size_t i = 1; i <= items.size(); ++i) {
-    if (i == items.size() || items[i].key != items[run_begin].key) {
+    if (i == items.size() ||
+        !Layout::KeyEq(items[i].key, items[run_begin].key)) {
       CompactKeyRun(items, run_begin, i, min_version, kept);
       run_begin = i;
     }
@@ -457,49 +488,105 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
 
   // Carve into infant chunks, filled to fill_ratio, never splitting one
   // key's version run across a boundary (a get must find every version of
-  // its key in the single chunk covering it).
+  // its key in the single chunk covering it).  Byte layouts budget each
+  // segment's arena bytes (min_key copy + keys + values) to the same fill
+  // fraction, so post-build puts have byte headroom matching the cell
+  // headroom.
   const std::uint32_t capacity = policy_.config().chunk_capacity;
   const std::uint32_t fill = std::clamp<std::uint32_t>(
       static_cast<std::uint32_t>(policy_.config().fill_ratio * capacity), 1,
       capacity);
   const std::uint32_t sparse = static_cast<std::uint32_t>(
       policy_.config().sparse_ratio * capacity);
+  // Budgeted to the fill fraction but always leaving one max-size entry of
+  // headroom: a rebuilt chunk must be able to absorb the very put whose
+  // arena overflow triggered the rebalance, or that put re-triggers it
+  // forever (livelock).  max_entry_bytes_ <= arena/4 keeps the clamp sane.
+  [[maybe_unused]] const std::size_t arena_fill = std::min<std::size_t>(
+      std::max<std::size_t>(
+          max_entry_bytes_, static_cast<std::size_t>(
+                                policy_.config().fill_ratio * arena_capacity_)),
+      arena_capacity_ - max_entry_bytes_);
 
-  std::vector<std::pair<std::size_t, std::size_t>> segments;  // [begin, end)
+  struct Segment {
+    std::size_t begin;
+    std::size_t end;
+    std::size_t bytes;  // arena bytes incl. the min_key copy (byte layouts)
+  };
+  std::vector<Segment> segments;
   std::size_t begin = 0;
   while (begin < kept.size()) {
-    std::size_t end = std::min(begin + fill, kept.size());
+    std::size_t seg_bytes = 0;
+    if constexpr (Layout::kHasArena) {
+      seg_bytes = segments.empty() ? ro->first->MinKey().size()
+                                   : kept[begin].key.size();
+    }
+    std::size_t end = begin;
+    while (end < kept.size() && end - begin < fill) {
+      if constexpr (Layout::kHasArena) {
+        const std::size_t need =
+            Layout::EntryArenaBytes(kept[end].key, kept[end].value);
+        if (end > begin && seg_bytes + need > arena_fill) break;
+        seg_bytes += need;
+      }
+      ++end;
+    }
     // Extend to the end of the key run straddling the boundary.
-    while (end < kept.size() && kept[end].key == kept[end - 1].key) ++end;
+    while (end < kept.size() &&
+           Layout::KeyEq(kept[end].key, kept[end - 1].key)) {
+      if constexpr (Layout::kHasArena) {
+        seg_bytes += Layout::EntryArenaBytes(kept[end].key, kept[end].value);
+      }
+      ++end;
+    }
     KIWI_ASSERT(end - begin <= capacity,
                 "one key's version run exceeds a whole chunk");
-    segments.emplace_back(begin, end);
+    if constexpr (Layout::kHasArena) {
+      KIWI_ASSERT(seg_bytes <= arena_capacity_,
+                  "one key's version run exceeds a whole chunk arena");
+    }
+    segments.push_back(Segment{begin, end, seg_bytes});
     begin = end;
   }
   // Fold a too-sparse trailing chunk into its predecessor when it fits.
   if (segments.size() >= 2) {
-    auto& tail = segments.back();
-    auto& prev = segments[segments.size() - 2];
-    if (tail.second - tail.first < sparse &&
-        tail.second - prev.first <= capacity) {
-      prev.second = tail.second;
+    Segment& tail = segments.back();
+    Segment& prev = segments[segments.size() - 2];
+    bool fold = tail.end - tail.begin < sparse &&
+                tail.end - prev.begin <= capacity;
+    if constexpr (Layout::kHasArena) {
+      // Folding drops the tail's separate min_key copy; the merge must
+      // respect the *budget*, not just fit the arena — a fold up to raw
+      // capacity leaves no headroom and livelocks the next overflowing put
+      // (the cell-count bound is safe by construction: fill + sparse <
+      // capacity, but a byte-budget-limited tail can be cell-sparse yet
+      // byte-heavy).
+      fold = fold && prev.bytes + tail.bytes - kept[tail.begin].key.size() <=
+                         arena_fill;
+    }
+    if (fold) {
+      prev.end = tail.end;
+      if constexpr (Layout::kHasArena) {
+        prev.bytes += tail.bytes - kept[tail.begin].key.size();
+      }
       segments.pop_back();
     }
   }
-  if (segments.empty()) segments.emplace_back(0, 0);  // keep >= 1 chunk
+  if (segments.empty()) segments.push_back(Segment{0, 0, 0});  // >= 1 chunk
 
   BuiltSection section;
   Chunk* prev_chunk = nullptr;
   for (std::size_t s = 0; s < segments.size(); ++s) {
-    const auto [seg_begin, seg_end] = segments[s];
+    const auto [seg_begin, seg_end, seg_bytes] = segments[s];
+    (void)seg_bytes;
     // The first chunk inherits the sector's minKey so the covered range is
     // exactly preserved; later chunks start at their first key.
-    const Key min_key =
-        s == 0 ? ro->first->min_key : kept[seg_begin].key;
+    const KeyView min_key =
+        s == 0 ? ro->first->MinKey() : kept[seg_begin].key;
     auto* chunk = Chunk::Create(
         pool_, min_key, capacity, ro->first, Chunk::Status::kInfant,
-        std::span<const Chunk::Item>(kept.data() + seg_begin,
-                                     seg_end - seg_begin));
+        std::span<const Item>(kept.data() + seg_begin, seg_end - seg_begin),
+        arena_capacity_);
     KIWI_OBS_INC(obs_, chunks_created);
     if (prev_chunk != nullptr) {
       prev_chunk->next.Store(MarkedPtr<Chunk>(chunk, false));
@@ -514,7 +601,8 @@ KiWiMap::BuiltSection KiWiMap::BuildSection(RebalanceObject* ro, Chunk* last,
   return section;
 }
 
-bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
+template <typename Layout>
+bool KiWiMapT<Layout>::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
   *i_won = false;
   Chunk* replacement = ro->replacement.load(std::memory_order_acquire);
   KIWI_ASSERT(replacement != nullptr, "replace before consensus");
@@ -575,13 +663,14 @@ bool KiWiMap::Replace(RebalanceObject* ro, Chunk* last, bool* i_won) {
     const MarkedPtr<Chunk> current = pred->next.Load();
     if (current.Ptr() == ro->first && current.Mark()) {
       KIWI_OBS_INC(obs_, splice_helps);
-      Rebalance(pred, 0, 0, /*has_put=*/false);
+      Rebalance(pred, KeyView{}, ValueView{}, /*has_put=*/false);
     }
     // Otherwise the list moved under us; loop to re-find the predecessor.
   }
 }
 
-void KiWiMap::Normalize(RebalanceObject* ro) {
+template <typename Layout>
+void KiWiMapT<Layout>::Normalize(RebalanceObject* ro) {
   reclaim::EbrGuard guard(ebr_);
   KIWI_TRACE(kRebIndex, reinterpret_cast<std::uintptr_t>(ro), 0);
   // The replacement section is live but the index still aims at the old
@@ -592,7 +681,7 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
   for (Chunk* c = ro->first;
        c != nullptr && c->ro.load(std::memory_order_acquire) == ro;
        c = c->Next()) {
-    index_.DeleteConditional(c->min_key, c);
+    index_.DeleteConditional(c->MinKey(), c);
   }
   // ...then index the replacement chunks (walk by parentage).  A chunk that
   // froze in the meantime was already superseded — never re-index it.
@@ -601,12 +690,13 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
   for (Chunk* c = replacement; c != nullptr && c->parent == ro->first;
        c = c->Next()) {
     while (true) {
-      index::ChunkIndex::Handle prev = index_.LoadPrev(c->min_key);
+      typename index::ChunkIndexT<Layout>::Handle prev =
+          index_.LoadPrev(c->MinKey());
       if (c->status.load(std::memory_order_seq_cst) ==
           Chunk::Status::kFrozen) {
         break;
       }
-      if (index_.PutConditional(c->min_key, prev, c)) break;
+      if (index_.PutConditional(c->MinKey(), prev, c)) break;
       KIWI_OBS_INC(obs_, index_cas_retries);
     }
   }
@@ -614,7 +704,7 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
   std::uint64_t normalized = 0;
   for (Chunk* c = replacement; c != nullptr && c->parent == ro->first;
        c = c->Next()) {
-    Chunk::Status expected = Chunk::Status::kInfant;
+    typename Chunk::Status expected = Chunk::Status::kInfant;
     c->status.compare_exchange_strong(expected, Chunk::Status::kNormal,
                                       std::memory_order_seq_cst);
     ++normalized;
@@ -622,9 +712,12 @@ void KiWiMap::Normalize(RebalanceObject* ro) {
   KIWI_TRACE(kRebNormalize, reinterpret_cast<std::uintptr_t>(ro), normalized);
 }
 
-Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
-  // target->min_key >= kMinUserKey > kMinKeySentinel, so the lookup key is
-  // valid and at worst resolves to the sentinel.
+template <typename Layout>
+auto KiWiMapT<Layout>::FindListPredecessor(Chunk* target) const -> Chunk* {
+  // LookupBelow resolves to the greatest indexed chunk whose minKey is
+  // strictly below target's (byte keys have no "minKey - 1", so the index
+  // exposes the strict-predecessor lookup directly); at worst that is the
+  // sentinel.
   //
   // The lazy index may return — or a reader may lazily re-insert — a chunk
   // that has since been retired.  A retired chunk's next pointer still
@@ -638,7 +731,7 @@ Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
   // thread's rebalance completed in the meantime, so this cannot loop
   // without global progress.
   while (true) {
-    auto* c = static_cast<Chunk*>(index_.Lookup(target->min_key - 1));
+    auto* c = static_cast<Chunk*>(index_.LookupBelow(target->MinKey()));
     if (c == nullptr || c->retired.load(std::memory_order_acquire)) {
       c = sentinel_;
     }
@@ -654,14 +747,18 @@ Chunk* KiWiMap::FindListPredecessor(Chunk* target) const {
       // minKeys never decrease along next pointers; passing target's minKey
       // without meeting it means it is unreachable.  Equal minKeys (a
       // replacement head) are walked through.
-      if (next == nullptr || next->min_key > target->min_key) return nullptr;
+      if (next == nullptr ||
+          Layout::KeyLess(target->MinKey(), next->MinKey())) {
+        return nullptr;
+      }
       c = next;
     }
     if (!dead_region) return nullptr;
   }
 }
 
-void KiWiMap::DiscardSection(Chunk* first) {
+template <typename Layout>
+void KiWiMapT<Layout>::DiscardSection(Chunk* first) {
   // A consensus-losing section was never visible to anyone: its slabs go
   // straight back to the pool, no grace period needed.
   while (first != nullptr) {

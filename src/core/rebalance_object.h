@@ -10,35 +10,43 @@
 // `ro` fields mid-rebalance) are covered by the EBR guard they already hold:
 // the referencing chunk cannot be freed under their guard, so neither can
 // the count reach zero.
+//
+// Templated on the key Layout like the chunks it describes; the object only
+// holds chunk pointers, so the template just keeps those pointers typed.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <new>
 
+#include "core/layout.h"
 #include "reclaim/pool.h"
 
 namespace kiwi::core {
 
-class Chunk;
+template <typename Layout>
+class ChunkT;
 
-struct RebalanceObject {
+template <typename Layout>
+struct RebalanceObjectT {
+  using Chunk = ChunkT<Layout>;
+
   /// Rebalance objects churn at rebalance rate, so they draw from (and
   /// return to) the map's slab pool like the chunks they describe.
-  static RebalanceObject* Create(reclaim::SlabPool& pool, Chunk* first_chunk,
-                                 Chunk* next_candidate) {
-    void* block = pool.Allocate(sizeof(RebalanceObject));
-    return new (block) RebalanceObject(&pool, first_chunk, next_candidate);
+  static RebalanceObjectT* Create(reclaim::SlabPool& pool, Chunk* first_chunk,
+                                  Chunk* next_candidate) {
+    void* block = pool.Allocate(sizeof(RebalanceObjectT));
+    return new (block) RebalanceObjectT(&pool, first_chunk, next_candidate);
   }
 
-  static void Destroy(RebalanceObject* ro) {
+  static void Destroy(RebalanceObjectT* ro) {
     reclaim::SlabPool* pool = ro->pool;
-    ro->~RebalanceObject();
-    pool->Deallocate(ro, sizeof(RebalanceObject));
+    ro->~RebalanceObjectT();
+    pool->Deallocate(ro, sizeof(RebalanceObjectT));
   }
 
-  RebalanceObject(reclaim::SlabPool* pool_arg, Chunk* first_chunk,
-                  Chunk* next_candidate)
+  RebalanceObjectT(reclaim::SlabPool* pool_arg, Chunk* first_chunk,
+                   Chunk* next_candidate)
       : pool(pool_arg), first(first_chunk), next(next_candidate) {}
 
   /// The pool this object's block came from.
@@ -66,14 +74,17 @@ struct RebalanceObject {
   /// for the trigger chunk (the creating CAS).
   std::atomic<std::uint32_t> refs{1};
 
-  static void Ref(RebalanceObject* ro) {
+  static void Ref(RebalanceObjectT* ro) {
     ro->refs.fetch_add(1, std::memory_order_acq_rel);
   }
-  static void Unref(RebalanceObject* ro) {
+  static void Unref(RebalanceObjectT* ro) {
     if (ro->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       Destroy(ro);
     }
   }
 };
+
+/// The fixed-width map's rebalance object — the original spelling.
+using RebalanceObject = RebalanceObjectT<Int64Layout>;
 
 }  // namespace kiwi::core

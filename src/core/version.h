@@ -45,7 +45,11 @@ class GlobalVersion {
 };
 
 /// One PSA slot.  Owned (published/cleared) by one thread; helped by any.
-class PsaEntry {
+/// Templated on the published range-bound domain: the int64 map publishes
+/// exact keys, the byte map publishes normalized 8-byte key prefixes (see
+/// core/layout.h — prefix bounds are conservative but never lossy).
+template <typename PsaKey>
+class PsaEntryT {
  public:
   struct VerSeq {
     Version ver;
@@ -57,7 +61,7 @@ class PsaEntry {
 
   /// Step 1 of a scan: announce intent with range [from, to] and a fresh
   /// sequence number.  Returns that sequence number.
-  std::uint64_t PublishPending(Key from, Key to) {
+  std::uint64_t PublishPending(PsaKey from, PsaKey to) {
     const std::uint64_t seq = next_seq_++;
     // Range is published before the pending word; helpers read the word
     // first (acquire) and the range after, so they never act on a stale
@@ -87,8 +91,8 @@ class PsaEntry {
 
   VerSeq Load() const { return ver_seq_.load(std::memory_order_seq_cst); }
 
-  Key From() const { return from_.load(std::memory_order_relaxed); }
-  Key To() const { return to_.load(std::memory_order_relaxed); }
+  PsaKey From() const { return from_.load(std::memory_order_relaxed); }
+  PsaKey To() const { return to_.load(std::memory_order_relaxed); }
 
   /// CAS {pending, seq} -> {ver, seq}.  Safe against the owner having moved
   /// on: a newer scan uses a larger seq, so the compare fails.
@@ -100,24 +104,32 @@ class PsaEntry {
 
  private:
   std::atomic<VerSeq> ver_seq_{VerSeq{kNoVersion, 0}};
-  std::atomic<Key> from_{0};
-  std::atomic<Key> to_{0};
+  std::atomic<PsaKey> from_{0};
+  std::atomic<PsaKey> to_{0};
   std::uint64_t next_seq_ = 1;  // owner-only
 };
+
+/// The fixed-width map's entry (and the VerSeq protocol tests').
+using PsaEntry = PsaEntryT<Key>;
 
 /// True when the 16-byte PSA pair CAS is a native instruction.
 bool PsaPairIsLockFree();
 
 /// The global PSA: one padded entry per thread slot.
-class Psa {
+template <typename PsaKey>
+class PsaT {
  public:
-  PsaEntry& Slot(std::size_t thread_slot) { return entries_[thread_slot].value; }
-  const PsaEntry& Slot(std::size_t thread_slot) const {
+  using Entry = PsaEntryT<PsaKey>;
+
+  Entry& Slot(std::size_t thread_slot) { return entries_[thread_slot].value; }
+  const Entry& Slot(std::size_t thread_slot) const {
     return entries_[thread_slot].value;
   }
 
  private:
-  Padded<PsaEntry> entries_[kMaxThreads];
+  Padded<Entry> entries_[kMaxThreads];
 };
+
+using Psa = PsaT<Key>;
 
 }  // namespace kiwi::core

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/byte_map.h"
 #include "common/random.h"
 #include "common/test_hooks.h"
 #include "core/kiwi_map.h"
@@ -26,7 +27,94 @@ Value OpValue(std::uint32_t thread, std::uint32_t counter) {
   return (static_cast<Value>(thread + 1) << 32) | counter;
 }
 
-void Worker(KiWiMap& map, Recorder& recorder, const RoundParams& params,
+// --- Byte-key codec (RoundParams::byte_keys) ------------------------------
+//
+// Order-preserving and injective on the fixed-width decimal field, so logical
+// key order, scan ranges and the checker all survive the translation.  The
+// shared 8-byte "fuzzkey:" prefix makes every cell-prefix comparison tie; the
+// per-key variable-length suffix varies arena claim sizes.
+
+std::string ByteKey(Key key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "fuzzkey:%06lld",
+                static_cast<long long>(key));
+  std::string out(buf);
+  out.append(static_cast<std::size_t>(key % 5),
+             static_cast<char>('a' + key % 26));
+  return out;
+}
+
+Key DecodeKey(std::string_view key) {
+  return static_cast<Key>(std::strtoll(std::string(key.substr(8, 6)).c_str(),
+                                       nullptr, 10));
+}
+
+std::string ByteValue(Value value) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<char>((static_cast<std::uint64_t>(value) >> (56 - 8 * i)) &
+                          0xff);
+  }
+  return out;
+}
+
+Value DecodeValue(std::string_view value) {
+  std::uint64_t out = 0;
+  for (char c : value) out = (out << 8) | static_cast<unsigned char>(c);
+  return static_cast<Value>(out);
+}
+
+/// The worker below is written against the logical int64 op domain; these
+/// two drivers bind it to either map layout.  The byte driver translates at
+/// the call boundary so the recorded history (and therefore the checker)
+/// never sees byte strings.
+struct Int64Driver {
+  KiWiMap& map;
+  void Put(Key key, Value value) { map.Put(key, value); }
+  void Remove(Key key) { map.Remove(key); }
+  std::optional<Value> Get(Key key) { return map.Get(key); }
+  void Scan(Key from, Key to, std::vector<KiWiMap::Entry>& out) {
+    map.Scan(from, to, out);
+  }
+  void PutBatch(const std::vector<KiWiMap::Entry>& batch) {
+    map.PutBatch(batch);
+  }
+  void CheckInvariants() { map.CheckInvariants(); }
+  std::string DebugReportText() { return map.DebugReport().ToText(); }
+};
+
+struct ByteDriver {
+  api::KiWiByteMap& map;
+  std::vector<api::KiWiByteMap::Entry> batch_buf{};
+  void Put(Key key, Value value) { map.Put(ByteKey(key), ByteValue(value)); }
+  void Remove(Key key) { map.Remove(ByteKey(key)); }
+  std::optional<Value> Get(Key key) {
+    const std::optional<std::string> got = map.Get(ByteKey(key));
+    if (!got) return std::nullopt;
+    return DecodeValue(*got);
+  }
+  void Scan(Key from, Key to, std::vector<KiWiMap::Entry>& out) {
+    out.clear();
+    map.Scan(ByteKey(from), ByteKey(to),
+             [&out](std::string_view key, std::string_view value) {
+               out.emplace_back(DecodeKey(key), DecodeValue(value));
+             });
+  }
+  void PutBatch(const std::vector<KiWiMap::Entry>& batch) {
+    batch_buf.clear();
+    batch_buf.reserve(batch.size());
+    for (const KiWiMap::Entry& entry : batch) {
+      batch_buf.emplace_back(ByteKey(entry.first), ByteValue(entry.second));
+    }
+    map.PutBatch(batch_buf);
+  }
+  void CheckInvariants() { map.CheckInvariants(); }
+  std::string DebugReportText() { return map.DebugReport().ToText(); }
+};
+
+template <class Driver>
+void Worker(Driver& map, Recorder& recorder, const RoundParams& params,
             std::uint32_t thread) {
   Xoshiro256 rng(params.seed ^ (0xa076'1d64'78bd'642fULL * (thread + 1)));
   std::vector<KiWiMap::Entry> scan_buf;
@@ -112,6 +200,36 @@ void Worker(KiWiMap& map, Recorder& recorder, const RoundParams& params,
   }
 }
 
+/// The layout-independent round body: spawn a per-thread Driver over the
+/// shared map, run the workers under the schedule, check invariants, then
+/// check the recorded history (always in the logical int64 domain).
+template <class Driver, class MapT>
+void RunRoundOn(MapT& map, Recorder& recorder, const RoundParams& params,
+                const Schedule& schedule, RoundResult& result,
+                const std::vector<KiWiMap::Entry>& preload) {
+  {
+    TestHooks::ScopedMutants mutants(params.mutants);
+    PerturbationEngine engine(schedule);
+    std::vector<std::thread> workers;
+    workers.reserve(params.threads);
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      workers.emplace_back([&map, &recorder, &params, t] {
+        Driver driver{map};
+        Worker(driver, recorder, params, t);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  map.CheckInvariants();
+
+  result.history = std::move(recorder).Merge();
+  result.history.initial.assign(preload.begin(), preload.end());
+  const CheckResult check = CheckHistory(result.history);
+  result.ok = check.ok;
+  result.message = check.message;
+  if (!result.ok) result.debug_report = map.DebugReport().ToText();
+}
+
 }  // namespace
 
 RoundResult RunRound(const RoundParams& params) {
@@ -131,29 +249,26 @@ RoundResult RunRound(const RoundParams& params) {
   KiWiConfig config;
   config.chunk_capacity = params.chunk_capacity;
   config.max_engaged_chunks = params.max_engaged_chunks;
-  KiWiMap map(std::span<const KiWiMap::Entry>(preload), config);
 
   Recorder recorder(params.threads);
   recorder.Reserve(params.ops_per_thread);
-  {
-    TestHooks::ScopedMutants mutants(params.mutants);
-    PerturbationEngine engine(schedule);
-    std::vector<std::thread> workers;
-    workers.reserve(params.threads);
-    for (std::uint32_t t = 0; t < params.threads; ++t) {
-      workers.emplace_back(Worker, std::ref(map), std::ref(recorder),
-                           std::cref(params), t);
-    }
-    for (std::thread& w : workers) w.join();
-  }
-  map.CheckInvariants();
 
-  result.history = std::move(recorder).Merge();
-  result.history.initial.assign(preload.begin(), preload.end());
-  const CheckResult check = CheckHistory(result.history);
-  result.ok = check.ok;
-  result.message = check.message;
-  if (!result.ok) result.debug_report = map.DebugReport().ToText();
+  if (params.byte_keys) {
+    // A tight arena (keys run ~14-18 bytes + 8-byte values) keeps
+    // arena-overflow rebalances firing alongside the cell-count ones.
+    config.bytes.arena_bytes_per_cell = 32;
+    std::vector<api::KiWiByteMap::Entry> byte_preload;
+    byte_preload.reserve(preload.size());
+    for (const KiWiMap::Entry& entry : preload) {
+      byte_preload.emplace_back(ByteKey(entry.first), ByteValue(entry.second));
+    }
+    api::KiWiByteMap map(
+        std::span<const api::KiWiByteMap::Entry>(byte_preload), config);
+    RunRoundOn<ByteDriver>(map, recorder, params, schedule, result, preload);
+  } else {
+    KiWiMap map(std::span<const KiWiMap::Entry>(preload), config);
+    RunRoundOn<Int64Driver>(map, recorder, params, schedule, result, preload);
+  }
   return result;
 }
 
@@ -232,6 +347,7 @@ std::optional<std::string> DumpFailureArtifacts(const RoundParams& params,
       << " --chunk-capacity=" << params.chunk_capacity
       << " --mix=" << params.put_pct << ":" << params.remove_pct << ":"
       << params.get_pct << " --max-engaged=" << params.max_engaged_chunks;
+  if (params.byte_keys) out << " --bytes";
   if (params.batch_pct != 0) {
     out << " --batch-pct=" << params.batch_pct
         << " --batch-max=" << params.max_batch;

@@ -58,6 +58,15 @@ struct RoundParams {
   /// the kiwi_fuzz driver and CI sweeps opt in via --batch-pct.
   std::uint32_t batch_pct = 0;
   std::uint32_t max_batch = 6;
+  /// Run the round over KiWiByteMap instead of the int64 KiWiMap: logical
+  /// keys map through an order-preserving byte codec whose keys all share
+  /// one 8-byte prefix ("fuzzkey:") plus a fixed-width decimal and a
+  /// variable-length suffix, so *every* key comparison falls through the
+  /// cell prefix to the arena memcmp — the byte layout's distinctive path.
+  /// Values encode as 8-byte big-endian (embedded NULs included).  The
+  /// recorded history and the checker stay in the logical int64 domain, so
+  /// one checker covers both layouts.
+  bool byte_keys = false;
   /// Mutant mask installed for the round (TestHooks::Mutant bits).
   std::uint32_t mutants = 0;
   /// Restrict the seed-derived schedule to these sites (bit i = site i in

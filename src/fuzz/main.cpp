@@ -96,6 +96,10 @@ void Usage(FILE* to) {
       "  --batch-pct=N       PutBatch share of the mix, carved out of the\n"
       "                      scan remainder (default 0: batches off)\n"
       "  --batch-max=N       max entries per fuzzed batch (default 6)\n"
+      "  --bytes             fuzz KiWiByteMap: keys go through an\n"
+      "                      order-preserving byte codec sharing one 8-byte\n"
+      "                      prefix, so every comparison takes the arena\n"
+      "                      memcmp tie-break path (checker unchanged)\n"
       "  --max-engaged=N     max chunks engaged per rebalance (default 8)\n"
       "  --site-mask=M       restrict perturbed hook sites (bitmask)\n"
       "  --force-site=I:A:P:N  pin site I to action A (yield|sleep|spin)\n"
@@ -204,6 +208,8 @@ int ParseArgs(int argc, char** argv, Options& opt) {
     } else if (const char* s = value("--batch-max=")) {
       if (!ParseU64(s, v) || v == 0) return 2;
       opt.params.max_batch = static_cast<std::uint32_t>(v);
+    } else if (arg == "--bytes") {
+      opt.params.byte_keys = true;
     } else if (const char* s = value("--site-mask=")) {
       if (!ParseU64(s, opt.params.site_mask)) return 2;
     } else if (const char* s = value("--force-site=")) {
@@ -301,10 +307,11 @@ int HandleFailure(const Options& opt, RoundParams params,
     std::printf("artifact dump failed (check --artifact-dir)\n");
   }
   std::printf("repro: KIWI_FUZZ_SEED=%llu kiwi_fuzz --threads=%u --ops=%u "
-              "--keys=%u --chunk-capacity=%u --site-mask=0x%llx%s%s\n",
+              "--keys=%u --chunk-capacity=%u --site-mask=0x%llx%s%s%s\n",
               static_cast<unsigned long long>(params.seed), params.threads,
               params.ops_per_thread, params.keys, params.chunk_capacity,
               static_cast<unsigned long long>(params.site_mask),
+              params.byte_keys ? " --bytes" : "",
               params.mutants ? " --mutant-mask=" : "",
               params.mutants ? std::to_string(params.mutants).c_str() : "");
   return 1;

@@ -1,111 +1,8 @@
 #include "index/chunk_index.h"
 
-#include "common/assert.h"
-
 namespace kiwi::index {
 
-ChunkIndex::ChunkIndex(reclaim::Ebr& ebr) : ebr_(ebr) {
-  head_ = new Node(kMinKeySentinel, nullptr, kMaxHeight);
-}
-
-ChunkIndex::~ChunkIndex() {
-  // Externally synchronized; walk level 0 and free directly.
-  Node* node = head_;
-  while (node != nullptr) {
-    Node* next = node->next[0].load(std::memory_order_relaxed);
-    delete node;
-    node = next;
-  }
-}
-
-ChunkIndex::Node* ChunkIndex::FindLessOrEqual(Key key, Node** preds) const {
-  Node* pred = head_;
-  Node* candidate = nullptr;
-  for (int level = kMaxHeight - 1; level >= 0; --level) {
-    Node* curr = pred->next[level].load(std::memory_order_acquire);
-    while (curr != nullptr && curr->key < key) {
-      pred = curr;
-      curr = pred->next[level].load(std::memory_order_acquire);
-    }
-    if (preds != nullptr) preds[level] = pred;
-    // An exact match sits immediately after pred at some level.
-    if (curr != nullptr && curr->key == key) candidate = curr;
-  }
-  if (candidate != nullptr) return candidate;
-  return pred == head_ ? nullptr : pred;
-}
-
-ChunkIndex::Handle ChunkIndex::Lookup(Key key) const {
-  Node* node = FindLessOrEqual(key, nullptr);
-  return node == nullptr ? nullptr
-                         : node->handle.load(std::memory_order_acquire);
-}
-
-bool ChunkIndex::PutConditional(Key key, Handle prev, Handle handle) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  Node* preds[kMaxHeight];
-  Node* best = FindLessOrEqual(key, preds);
-  const Handle current =
-      best == nullptr ? nullptr : best->handle.load(std::memory_order_acquire);
-  if (current != prev) return false;
-
-  if (best != nullptr && best->key == key) {
-    // Key already indexed (mapped to prev): replace the mapping in place.
-    best->handle.store(handle, std::memory_order_release);
-    return true;
-  }
-
-  const int height = RandomHeight();
-  Node* node = new Node(key, handle, height);
-  for (int level = 0; level < height; ++level) {
-    node->next[level].store(
-        preds[level]->next[level].load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-  }
-  // Publish bottom-up; once the level-0 link is visible the node is live.
-  for (int level = 0; level < height; ++level) {
-    preds[level]->next[level].store(node, std::memory_order_release);
-  }
-  size_.fetch_add(1, std::memory_order_relaxed);
-  return true;
-}
-
-bool ChunkIndex::DeleteConditional(Key key, Handle handle) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  Node* preds[kMaxHeight];
-  Node* best = FindLessOrEqual(key, preds);
-  if (best == nullptr || best->key != key) return true;  // idempotent
-  if (best->handle.load(std::memory_order_acquire) != handle) return false;
-
-  // Unlink top-down; readers that already hold the node keep following its
-  // intact next pointers.
-  for (int level = best->height - 1; level >= 0; --level) {
-    // preds[level] may not directly precede best at this level if best is
-    // shorter than the search path; only unlink where it does.
-    if (preds[level]->next[level].load(std::memory_order_relaxed) == best) {
-      preds[level]->next[level].store(
-          best->next[level].load(std::memory_order_relaxed),
-          std::memory_order_release);
-    }
-  }
-  size_.fetch_sub(1, std::memory_order_relaxed);
-  ebr_.RetireObject(best);
-  return true;
-}
-
-void ChunkIndex::PutUnconditional(Key key, Handle handle) {
-  const bool inserted = PutConditional(key, Lookup(key), handle);
-  KIWI_ASSERT(inserted, "unconditional index put failed");
-}
-
-std::size_t ChunkIndex::MemoryFootprint() const {
-  return Size() * sizeof(Node) + sizeof(*this);
-}
-
-int ChunkIndex::RandomHeight() {
-  int height = 1;
-  while (height < kMaxHeight && (height_rng_.Next() & 3u) == 0) ++height;
-  return height;
-}
+template class ChunkIndexT<core::Int64Layout>;
+template class ChunkIndexT<core::ByteLayout>;
 
 }  // namespace kiwi::index

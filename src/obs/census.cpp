@@ -51,6 +51,10 @@ std::string ChunkCensus::ToJson() const {
   AppendHist(out, "fill_hist", fill_hist);
   out += ",";
   AppendHist(out, "batched_hist", batched_hist);
+  Append(out, ",\"arena_used_bytes\":%llu,\"arena_capacity_bytes\":%llu,",
+         (unsigned long long)arena_used_bytes,
+         (unsigned long long)arena_capacity_bytes);
+  AppendHist(out, "arena_hist", arena_hist);
   Append(out, ",\"age_min_ns\":%llu,\"age_max_ns\":%llu,\"age_mean_ns\":%.17g}",
          (unsigned long long)age_min_ns, (unsigned long long)age_max_ns,
          age_mean_ns);
@@ -61,7 +65,8 @@ std::string ChunkCensus::ToJson() const {
 
 namespace kiwi::core {
 
-obs::ChunkCensus KiWiMap::Census() {
+template <typename Layout>
+obs::ChunkCensus KiWiMapT<Layout>::Census() {
   obs::ChunkCensus census;
   const std::uint64_t now_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -80,7 +85,7 @@ obs::ChunkCensus KiWiMap::Census() {
       case Chunk::Status::kFrozen: census.frozen++; break;
       case Chunk::Status::kSentinel: break;  // unreachable: walk skips it
     }
-    if (RebalanceObject* ro = c->ro.load(std::memory_order_acquire)) {
+    if (auto* ro = c->ro.load(std::memory_order_acquire)) {
       if (!ro->done.load(std::memory_order_acquire)) census.engaged++;
     }
     const std::uint64_t allocated = c->AllocatedCells();
@@ -92,6 +97,13 @@ obs::ChunkCensus KiWiMap::Census() {
     const double batched_ratio =
         allocated > 0 ? static_cast<double>(c->batched_count) / allocated : 1.0;
     census.batched_hist[obs::ChunkCensus::DecileFor(batched_ratio)]++;
+    if (c->arena_capacity > 0) {  // arena-bearing (byte-layout) chunks only
+      const std::uint64_t used = c->ArenaUsed();
+      census.arena_used_bytes += used;
+      census.arena_capacity_bytes += c->arena_capacity;
+      census.arena_hist[obs::ChunkCensus::DecileFor(
+          static_cast<double>(used) / c->arena_capacity)]++;
+    }
     const std::uint64_t age = now_ns > c->birth_ns ? now_ns - c->birth_ns : 0;
     if (census.chunks == 1 || age < census.age_min_ns) {
       census.age_min_ns = age;
@@ -104,5 +116,11 @@ obs::ChunkCensus KiWiMap::Census() {
   }
   return census;
 }
+
+// The core TU's `template class KiWiMapT<...>` skips members whose
+// definitions are not visible there; these member instantiations are what
+// links the obs-bound symbols, keeping core objects obs-free.
+template obs::ChunkCensus KiWiMapT<Int64Layout>::Census();
+template obs::ChunkCensus KiWiMapT<ByteLayout>::Census();
 
 }  // namespace kiwi::core

@@ -46,6 +46,18 @@ struct ChunkCensus {
   /// are degenerating into linear list walks and rebalance is overdue.
   std::array<std::uint64_t, kDecileBuckets> batched_hist{};
 
+  // ---- byte arenas --------------------------------------------------------
+  /// Per-chunk byte-arena occupancy (KiWiByteMap; always zero for the
+  /// fixed-width int64 map, whose chunks carry no arena).  A chunk whose
+  /// arena fills before its cell array still rebalances — a right-heavy
+  /// arena_hist with a left-heavy fill_hist means values are outsizing the
+  /// configured ByteConfig::arena_bytes_per_cell.
+  std::uint64_t arena_used_bytes = 0;      // claimed bytes across chunks
+  std::uint64_t arena_capacity_bytes = 0;  // total arena bytes provisioned
+  /// Arena fill per arena-bearing chunk (used / capacity), deciles.  Counts
+  /// only chunks with a non-zero arena, so it stays all-zero for int64 maps.
+  std::array<std::uint64_t, kDecileBuckets> arena_hist{};
+
   /// Chunk age (steady-clock ns since Chunk::Create).  Age extremes spot
   /// both churn (max ≈ 0: nothing survives) and stagnation (a hot chunk
   /// that never rebalances).

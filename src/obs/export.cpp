@@ -269,7 +269,7 @@ bool ParseMetricsEnv(const char* spec, const char* prom_path,
 // ---- pump ---------------------------------------------------------------
 
 struct MetricsPump::Impl {
-  core::KiWiMap& map;
+  MetricsSource source;
   MetricsPumpOptions options;
   MetricsAggregator agg;
 
@@ -285,17 +285,19 @@ struct MetricsPump::Impl {
   std::thread thread;
   std::chrono::steady_clock::time_point prev;
 
-  Impl(core::KiWiMap& map_arg, MetricsPumpOptions options_arg,
+  Impl(MetricsSource source_arg, MetricsPumpOptions options_arg,
        std::uint64_t pump_id)
-      : map(map_arg), options(std::move(options_arg)), agg(pump_id) {}
+      : source(std::move(source_arg)),
+        options(std::move(options_arg)),
+        agg(pump_id) {}
 
   void Tick() {
     const auto now = std::chrono::steady_clock::now();
     const double elapsed =
         std::chrono::duration<double>(now - prev).count();
     prev = now;
-    const DebugReport report = map.DebugReport();
-    const ChunkCensus census = map.Census();
+    const DebugReport report = source.report();
+    const ChunkCensus census = source.census();
     const MetricsSample sample = agg.Ingest(report, census, elapsed);
     if (jsonl != nullptr) {
       const std::string line = sample.ToJsonl();
@@ -335,12 +337,12 @@ struct MetricsPump::Impl {
   }
 };
 
-MetricsPump::MetricsPump(core::KiWiMap& map, MetricsPumpOptions options)
+MetricsPump::MetricsPump(MetricsSource source, MetricsPumpOptions options)
     : pump_id_(g_next_pump_id.fetch_add(1, std::memory_order_relaxed)) {
   if (options.interval < std::chrono::milliseconds(1)) {
     options.interval = std::chrono::milliseconds(1);
   }
-  impl_ = new Impl(map, std::move(options), pump_id_);
+  impl_ = new Impl(std::move(source), std::move(options), pump_id_);
   if (impl_->options.jsonl_path == "-") {
     impl_->jsonl = stdout;
   } else if (!impl_->options.jsonl_path.empty()) {
@@ -392,13 +394,19 @@ bool MetricsPump::LatestSample(MetricsSample* out) const {
 
 namespace kiwi::core {
 
-bool KiWiMap::StartMetricsPump(const obs::MetricsPumpOptions& options) {
+template <typename Layout>
+bool KiWiMapT<Layout>::StartMetricsPump(
+    const obs::MetricsPumpOptions& options) {
   if (pump_ != nullptr) return false;
-  pump_ = new obs::MetricsPump(*this, options);
+  pump_ = new obs::MetricsPump(
+      obs::MetricsSource{[this] { return this->DebugReport(); },
+                         [this] { return this->Census(); }},
+      options);
   return true;
 }
 
-bool KiWiMap::StartMetricsPumpFromEnv() {
+template <typename Layout>
+bool KiWiMapT<Layout>::StartMetricsPumpFromEnv() {
   obs::MetricsPumpOptions options;
   if (!obs::ParseMetricsEnv(std::getenv("KIWI_METRICS"),
                             std::getenv("KIWI_METRICS_PROM"), &options)) {
@@ -407,9 +415,21 @@ bool KiWiMap::StartMetricsPumpFromEnv() {
   return StartMetricsPump(options);
 }
 
-void KiWiMap::StopMetricsPump() {
+template <typename Layout>
+void KiWiMapT<Layout>::StopMetricsPump() {
   delete pump_;  // MetricsPump's destructor stops, joins and flushes
   pump_ = nullptr;
 }
+
+// Member instantiations (the core TU's class-level instantiation skips
+// obs-bound members; see kiwi_map.cpp).
+template bool KiWiMapT<Int64Layout>::StartMetricsPump(
+    const obs::MetricsPumpOptions&);
+template bool KiWiMapT<ByteLayout>::StartMetricsPump(
+    const obs::MetricsPumpOptions&);
+template bool KiWiMapT<Int64Layout>::StartMetricsPumpFromEnv();
+template bool KiWiMapT<ByteLayout>::StartMetricsPumpFromEnv();
+template void KiWiMapT<Int64Layout>::StopMetricsPump();
+template void KiWiMapT<ByteLayout>::StopMetricsPump();
 
 }  // namespace kiwi::core

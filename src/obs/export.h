@@ -31,10 +31,6 @@
 #include "obs/census.h"
 #include "obs/report.h"
 
-namespace kiwi::core {
-class KiWiMap;
-}
-
 namespace kiwi::obs {
 
 /// One pump tick: the cumulative snapshot plus the derived deltas/rates.
@@ -119,13 +115,21 @@ bool ParseMetricsInterval(const std::string& text,
 bool ParseMetricsEnv(const char* spec, const char* prom_path,
                      MetricsPumpOptions* out);
 
+/// What the pump samples each tick.  The pump is layout-agnostic: any map
+/// instantiation (int64 or bytes) plugs in by binding its DebugReport() and
+/// Census() members; both callables run on the pump thread.
+struct MetricsSource {
+  std::function<DebugReport()> report;
+  std::function<ChunkCensus()> census;
+};
+
 /// The background thread.  Construction starts it; destruction (or Stop())
 /// joins it after one final flush tick, so short runs still produce at
 /// least one sample.  Owned by KiWiMap through an opaque pointer — see
 /// KiWiMap::StartMetricsPump / StopMetricsPump.
 class MetricsPump {
  public:
-  MetricsPump(core::KiWiMap& map, MetricsPumpOptions options);
+  MetricsPump(MetricsSource source, MetricsPumpOptions options);
   ~MetricsPump();
   MetricsPump(const MetricsPump&) = delete;
   MetricsPump& operator=(const MetricsPump&) = delete;

@@ -173,7 +173,8 @@ std::string DebugReport::ToJson() const {
 
 namespace kiwi::core {
 
-obs::DebugReport KiWiMap::DebugReport() {
+template <typename Layout>
+obs::DebugReport KiWiMapT<Layout>::DebugReport() {
   obs::DebugReport report;
 #if KIWI_OBS_ENABLED
   report.stats_enabled = true;
@@ -194,7 +195,7 @@ obs::DebugReport KiWiMap::DebugReport() {
   report.gauges.batched_ratio = structure.avg_batched_ratio;
   for (std::size_t t = 0; t < kMaxThreads; ++t) {
     if (psa_.Slot(t).Load().ver != kNoVersion) report.gauges.psa_active++;
-    for (const Psa& array : snapshot_psa_) {
+    for (const auto& array : snapshot_psa_) {
       if (array.Slot(t).Load().ver != kNoVersion) {
         report.gauges.snapshot_pins++;
       }
@@ -215,5 +216,10 @@ obs::DebugReport KiWiMap::DebugReport() {
   report.gauges.pool_pooled_bytes = pool.pooled_bytes;
   return report;
 }
+
+// Member instantiations (the core TU's class-level instantiation skips
+// obs-bound members; see kiwi_map.cpp).
+template obs::DebugReport KiWiMapT<Int64Layout>::DebugReport();
+template obs::DebugReport KiWiMapT<ByteLayout>::DebugReport();
 
 }  // namespace kiwi::core

@@ -246,5 +246,106 @@ TEST(ChunkGeometry, CoversKeyUsesNextMinKey) {
   EXPECT_GT(low.MemoryFootprint(), 8 * sizeof(Chunk::Cell));
 }
 
+// ---- byte-layout arenas --------------------------------------------------
+
+using ByteChunk = ChunkT<ByteLayout>;
+using ByteItem = ByteChunk::Item;
+using ByteChunkPtr = std::unique_ptr<ByteChunk, decltype(&ByteChunk::Destroy)>;
+
+TEST(ByteChunkArena, ClaimsAreExclusiveAndBounded) {
+  ByteChunkPtr owner(ByteChunk::Create(TestPool(), ByteLayout::MinUserKey(),
+                                       8, nullptr, ByteChunk::Status::kNormal,
+                                       {}, /*arena_capacity=*/64),
+                     &ByteChunk::Destroy);
+  ByteChunk& chunk = *owner;
+  EXPECT_EQ(chunk.ArenaUsed(), 1u);  // the min_key ("\0") copy
+  std::uint32_t a = 0, b = 0;
+  ASSERT_TRUE(chunk.ClaimArena(30, &a));
+  ASSERT_TRUE(chunk.ClaimArena(33, &b));  // 1 + 30 + 33 == 64 exactly
+  EXPECT_NE(a, b);
+  EXPECT_EQ(chunk.ArenaUsed(), 64u);
+  std::uint32_t c = 0;
+  EXPECT_FALSE(chunk.ClaimArena(1, &c)) << "arena exhausted";
+  // The failed claim's dead reservation clamps in ArenaUsed.
+  EXPECT_EQ(chunk.ArenaUsed(), 64u);
+}
+
+TEST(ByteChunkArena, BuildCopyCompactsDeadReservations) {
+  // A source chunk whose arena is fragmented: live entries interleaved with
+  // dead reservations (obsolete versions and a failed claim).
+  ByteChunkPtr src_owner(
+      ByteChunk::Create(TestPool(), ByteLayout::MinUserKey(), 16, nullptr,
+                        ByteChunk::Status::kNormal, {}, 512),
+      &ByteChunk::Destroy);
+  ByteChunk& src = *src_owner;
+  std::uint32_t waste = 0;
+  ASSERT_TRUE(src.ClaimArena(100, &waste));  // dead: an abandoned claim
+  // Install two live entries by hand at claimed offsets, linked via cell 1
+  // and 2 (sorted order).
+  const std::string_view keys[2] = {"alpha", "beta"};
+  const std::string_view vals[2] = {"AAAA", "BBBBBBBB"};
+  for (int i = 0; i < 2; ++i) {
+    std::uint32_t off = 0;
+    const std::uint32_t need =
+        static_cast<std::uint32_t>(keys[i].size() + vals[i].size());
+    ASSERT_TRUE(src.ClaimArena(need, &off));
+    std::memcpy(src.a + off, keys[i].data(), keys[i].size());
+    std::memcpy(src.a + off + keys[i].size(), vals[i].data(), vals[i].size());
+    src.k[i + 1].key = ByteLayout::CellKey{
+        ByteLayout::MakePrefix(keys[i]), off,
+        static_cast<std::uint32_t>(keys[i].size())};
+    src.k[i + 1].version = 1;
+    src.k[i + 1].val_ptr.store(i);
+    src.v[i] = ByteLayout::StoredValue{
+        static_cast<std::uint32_t>(off + keys[i].size()),
+        static_cast<std::uint32_t>(vals[i].size())};
+  }
+  src.k[0].next.store(1);
+  src.k[1].next.store(2);
+  src.k[2].next.store(ByteChunk::kNullIdx);
+  src.k_counter.store(3);
+  src.v_counter.store(2);
+  const std::uint32_t fragmented = src.ArenaUsed();
+
+  // Rebalance's build step: harvest and copy into a fresh chunk.  The copy
+  // IS the compaction — dead reservations do not travel.
+  std::vector<ByteItem> items;
+  src.CollectItems(items);
+  ASSERT_EQ(items.size(), 2u);
+  ByteChunkPtr dst_owner(
+      ByteChunk::Create(TestPool(), ByteLayout::MinUserKey(), 16, nullptr,
+                        ByteChunk::Status::kInfant,
+                        std::span<const ByteItem>(items), 512),
+      &ByteChunk::Destroy);
+  ByteChunk& dst = *dst_owner;
+  const std::uint32_t live_bytes = static_cast<std::uint32_t>(
+      1 +  // min_key "\0"
+      keys[0].size() + vals[0].size() + keys[1].size() + vals[1].size());
+  EXPECT_EQ(dst.ArenaUsed(), live_bytes);
+  EXPECT_LT(dst.ArenaUsed(), fragmented) << "compaction reclaimed dead bytes";
+  // The copied entries read back through the normal lookup path.
+  const auto alpha = dst.FindLatest("alpha", kMaxReadVersion);
+  ASSERT_TRUE(alpha.found);
+  EXPECT_EQ(alpha.value, "AAAA");
+  const auto beta = dst.FindLatest("beta", kMaxReadVersion);
+  ASSERT_TRUE(beta.found);
+  EXPECT_EQ(beta.value, "BBBBBBBB");
+}
+
+TEST(ByteChunkArena, TombstonesCarryNoArenaBytes) {
+  std::vector<ByteItem> items;
+  items.push_back(ByteItem{"gone", 2, 0, ByteLayout::TombstoneValue()});
+  ByteChunkPtr owner(
+      ByteChunk::Create(TestPool(), ByteLayout::MinUserKey(), 8, nullptr,
+                        ByteChunk::Status::kNormal,
+                        std::span<const ByteItem>(items), 128),
+      &ByteChunk::Destroy);
+  ByteChunk& chunk = *owner;
+  EXPECT_EQ(chunk.ArenaUsed(), 1u + 4u);  // min_key + the key only
+  const auto latest = chunk.FindLatest("gone", kMaxReadVersion);
+  ASSERT_TRUE(latest.found);
+  EXPECT_TRUE(latest.is_tombstone);
+}
+
 }  // namespace
 }  // namespace kiwi::core

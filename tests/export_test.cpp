@@ -483,7 +483,10 @@ TEST(MetricsPump, WritePromServesTheLatestSample) {
 
   // The pump is gone; drive a fresh one through the public surface to read
   // the exposition before and after a tick.
-  obs::MetricsPump pump(map, options);
+  obs::MetricsPump pump(
+      obs::MetricsSource{[&map] { return map.DebugReport(); },
+                         [&map] { return map.Census(); }},
+      options);
   std::ostringstream prom;
   EXPECT_FALSE(pump.WriteProm(prom)) << "no sample before the first tick";
   pump.Stop();

@@ -70,6 +70,24 @@ TEST(FuzzHarness, CleanRoundsWithBatchOpsHaveNoViolations) {
   }
 }
 
+// The same sweep over KiWiByteMap: logical keys go through the fuzzer's
+// order-preserving byte codec (one shared 8-byte prefix, so every key
+// comparison takes the arena memcmp tie-break) and values through the
+// 8-byte big-endian codec; the recorded history stays in the int64 domain,
+// so both checker layers apply verbatim.
+TEST(FuzzHarness, CleanByteKeyRoundsHaveNoViolations) {
+  const int rounds = ScaledIters(6);
+  for (int i = 0; i < rounds; ++i) {
+    RoundParams params;
+    params.seed = 201 + static_cast<std::uint64_t>(i);
+    params.byte_keys = true;
+    params.batch_pct = 10;
+    const RoundResult r = RunRound(params);
+    EXPECT_TRUE(r.ok) << "seed " << params.seed << ": " << r.message
+                      << "\nschedule: " << r.schedule;
+  }
+}
+
 // Regression: the lazy chunk index can return an already-spliced-out chunk;
 // LocateChunk must not trust its dead next-chain (readers would miss every
 // put that completed in the replacement section).  Found by this fuzzer at
@@ -111,6 +129,17 @@ TEST(FuzzHarness, DetectsSkipScanPublishMutantThroughBatchMix) {
   RoundParams base;
   base.batch_pct = 15;
   base.max_batch = 6;
+  const int used = SeedsUntilViolation(TestHooks::kSkipScanPublish, base,
+                                       ScaledIters(25));
+  EXPECT_GT(used, 0) << "mutant not detected within seed budget";
+}
+
+// Byte-key teeth: the scan-publish mutant must surface through the byte
+// driver too — proof the byte translation layer does not launder the
+// violation out of the recorded history.
+TEST(FuzzHarness, DetectsSkipScanPublishMutantWithByteKeys) {
+  RoundParams base;
+  base.byte_keys = true;
   const int used = SeedsUntilViolation(TestHooks::kSkipScanPublish, base,
                                        ScaledIters(25));
   EXPECT_GT(used, 0) << "mutant not detected within seed budget";
