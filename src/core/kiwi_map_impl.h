@@ -444,8 +444,17 @@ void KiWiMapT<Layout>::PutBatch(std::span<const Entry> entries) {
         chunk->k_counter.load(std::memory_order_acquire) > chunk->capacity ||
         chunk->v_counter.load(std::memory_order_acquire) >= chunk->capacity;
     if constexpr (Layout::kHasArena) {
-      full = full || chunk->arena_used.load(std::memory_order_acquire) >=
-                         chunk->arena_capacity;
+      // "Full" must also cover "the run's first entry no longer fits the
+      // remaining arena": PutRunPerOp would compute a zero-entry claim and
+      // return 0 without touching any chunk state, so retrying the per-op
+      // path can never make progress — only the rebalance dispatch below
+      // can.  (The single-key Put escapes the same situation through its
+      // ClaimArena-failure -> Rebalance route; this path has no such exit.)
+      const std::uint32_t arena_used =
+          chunk->arena_used.load(std::memory_order_acquire);
+      full = full || arena_used >= chunk->arena_capacity ||
+             chunk->arena_capacity - arena_used <
+                 Layout::EntryArenaBytes(batch[done].key, batch[done].value);
     }
     const bool frozen = chunk->status.load(std::memory_order_acquire) ==
                         Chunk::Status::kFrozen;

@@ -32,6 +32,7 @@
 // where UINT64_MAX is a safe +inf.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -157,6 +158,9 @@ struct ByteLayout {
     if (key.size() >= 8) {
       std::uint64_t raw;
       std::memcpy(&raw, key.data(), 8);
+      // The prefix is the first 8 key bytes in big-endian order, so the
+      // memcpy'd word only needs swapping on little-endian hosts.
+      if constexpr (std::endian::native == std::endian::big) return raw;
       return __builtin_bswap64(raw);
     }
     std::uint64_t prefix = 0;

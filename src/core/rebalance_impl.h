@@ -541,10 +541,6 @@ auto KiWiMapT<Layout>::BuildSection(RebalanceObject* ro, Chunk* last,
     }
     KIWI_ASSERT(end - begin <= capacity,
                 "one key's version run exceeds a whole chunk");
-    if constexpr (Layout::kHasArena) {
-      KIWI_ASSERT(seg_bytes <= arena_capacity_,
-                  "one key's version run exceeds a whole chunk arena");
-    }
     segments.push_back(Segment{begin, end, seg_bytes});
     begin = end;
   }
@@ -578,6 +574,21 @@ auto KiWiMapT<Layout>::BuildSection(RebalanceObject* ro, Chunk* last,
   Chunk* prev_chunk = nullptr;
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const auto [seg_begin, seg_end, seg_bytes] = segments[s];
+    // A pinned snapshot (or long scan) can retain more versions of one key
+    // than the default arena holds, and a key's version run is never split
+    // across chunks — such a segment gets its own oversized arena (plus the
+    // usual one-max-entry headroom so the put that triggered this rebalance
+    // still fits) instead of a fatal abort.  The slab pool serves arbitrary
+    // sizes, falling back to the OS for unpooled classes.
+    std::uint32_t seg_arena = arena_capacity_;
+    if constexpr (Layout::kHasArena) {
+      const std::size_t need = seg_bytes + max_entry_bytes_;
+      if (need > seg_arena) {
+        KIWI_ASSERT(need <= std::numeric_limits<std::int32_t>::max(),
+                    "one key's version run exceeds the 31-bit arena bound");
+        seg_arena = static_cast<std::uint32_t>(need);
+      }
+    }
     (void)seg_bytes;
     // The first chunk inherits the sector's minKey so the covered range is
     // exactly preserved; later chunks start at their first key.
@@ -586,7 +597,7 @@ auto KiWiMapT<Layout>::BuildSection(RebalanceObject* ro, Chunk* last,
     auto* chunk = Chunk::Create(
         pool_, min_key, capacity, ro->first, Chunk::Status::kInfant,
         std::span<const Item>(kept.data() + seg_begin, seg_end - seg_begin),
-        arena_capacity_);
+        seg_arena);
     KIWI_OBS_INC(obs_, chunks_created);
     if (prev_chunk != nullptr) {
       prev_chunk->next.Store(MarkedPtr<Chunk>(chunk, false));

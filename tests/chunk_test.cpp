@@ -252,6 +252,35 @@ using ByteChunk = ChunkT<ByteLayout>;
 using ByteItem = ByteChunk::Item;
 using ByteChunkPtr = std::unique_ptr<ByteChunk, decltype(&ByteChunk::Destroy)>;
 
+TEST(ByteChunkArena, MakePrefixOrderMatchesLexicographicOrder) {
+  // The normalized prefix must order exactly like the first-8-byte
+  // truncation of the key, on any host endianness (the >= 8 branch packs
+  // via memcpy + conditional bswap; this cross-checks it against the
+  // byte-at-a-time construction the short-key branch uses).
+  const std::vector<std::string> keys = {
+      std::string(1, '\0'), "a", "abcdefgh", "abcdefgi", "abcdefghzzz",
+      "abcdefgh\x01", std::string("\x00\xff" "abcdef", 8),
+      std::string(8, '\xff'), std::string(9, '\xff'), "zzzzzzz"};
+  for (const std::string& a : keys) {
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(a.size(), 8); ++i) {
+      expected |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(a[i]))
+                  << (56 - 8 * i);
+    }
+    EXPECT_EQ(ByteLayout::MakePrefix(a), expected) << a;
+    for (const std::string& b : keys) {
+      const std::string ta = a.substr(0, 8);
+      const std::string tb = b.substr(0, 8);
+      if (ta < tb) {
+        EXPECT_LT(ByteLayout::MakePrefix(a), ByteLayout::MakePrefix(b));
+      } else if (ta == tb) {
+        EXPECT_EQ(ByteLayout::MakePrefix(a), ByteLayout::MakePrefix(b));
+      }
+    }
+  }
+}
+
 TEST(ByteChunkArena, ClaimsAreExclusiveAndBounded) {
   ByteChunkPtr owner(ByteChunk::Create(TestPool(), ByteLayout::MinUserKey(),
                                        8, nullptr, ByteChunk::Status::kNormal,

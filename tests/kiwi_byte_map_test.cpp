@@ -172,6 +172,70 @@ TEST(KiWiByteMap, ArenaExhaustionTriggersRebalance) {
   map.CheckInvariants();
 }
 
+TEST(KiWiByteMap, PutBatchShortRunsSurviveArenaExhaustion) {
+  // Regression: a short PutBatch run whose first entry no longer fit the
+  // chunk's remaining arena (while arena_used was still below capacity)
+  // used to retry the per-op path forever — PutRunPerOp claimed nothing,
+  // PutBatch's "full" check only fired at arena_used >= capacity, and with
+  // a healthy batched prefix ShouldTrigger is deterministically false, so
+  // no rebalance was ever dispatched.  Bulk-loading builds exactly that
+  // healthy prefix; the fat puts then exhaust the arena bytes long before
+  // the batched ratio turns unhealthy.
+  core::KiWiConfig config;
+  config.chunk_capacity = 64;              // bulk threshold 8 > run size 1
+  config.bytes.arena_bytes_per_cell = 64;  // 4 KiB arena, 1 KiB max entry
+  std::vector<Entry> seed;
+  for (int i = 0; i < 64; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "k%02d", i);
+    seed.emplace_back(buf, "v");  // 4 arena bytes each: cells fill first
+  }
+  KiWiByteMap map{std::span<const Entry>(seed), config};
+  // Eight ~900-byte entries aimed at the first chunk: its arena (~129 of
+  // 4096 bytes used, 32 batched cells) exhausts after four of them while
+  // allocated cells are still far below both capacity and the unbalanced-
+  // prefix threshold.
+  const std::string fat(900, 'B');
+  std::vector<Entry> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.assign({{"k0" + std::to_string(i) + "fat", fat}});
+    map.PutBatch(batch);  // single-entry run: always the per-op path
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(map.Get("k0" + std::to_string(i) + "fat").value_or(""), fat)
+        << i;
+  }
+  map.CheckInvariants();
+}
+
+TEST(KiWiByteMap, PinnedSnapshotRetainsOversizedVersionRun) {
+  // Regression: with a snapshot pinning every later version of one key,
+  // rebalance used to die on a fatal assert once the key's retained
+  // version run outgrew a whole chunk's arena (a key run is never split
+  // across chunks).  It now gives that one replacement chunk an oversized
+  // arena instead.  The interleaved scans advance the global version so
+  // every put lands at a distinct version — same-version overwrites are
+  // superseded ties that compaction may (correctly) collapse.
+  core::KiWiConfig config;
+  config.chunk_capacity = 64;
+  config.bytes.arena_bytes_per_cell = 64;  // 4 KiB arena, 1 KiB max entry
+  KiWiByteMap map(config);
+  map.Put("pinned", "v0");
+  KiWiByteMap::Snapshot snap(map);
+  // Each write adds a version the snapshot keeps alive; 12 x 900 bytes is
+  // more than double one chunk's arena, so the arena-full rebalances along
+  // the way must carry the whole run into a single oversized chunk.
+  std::string last;
+  for (int i = 0; i < 12; ++i) {
+    last = std::string(900, static_cast<char>('a' + i));
+    map.Put("pinned", last);
+    map.Scan("pinned", "pinned~", [](std::string_view, std::string_view) {});
+  }
+  EXPECT_EQ(snap.Get("pinned").value_or(""), "v0");
+  EXPECT_EQ(map.Get("pinned").value_or(""), last);
+  map.CheckInvariants();
+}
+
 TEST(KiWiByteMap, PutBatchMatchesPutSemantics) {
   KiWiByteMap map;
   std::vector<Entry> batch;
